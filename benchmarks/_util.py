@@ -1,0 +1,57 @@
+"""Shared helpers for the experiment benches.
+
+Every bench regenerates one table/series of the paper (see DESIGN.md's
+experiment index), prints it, saves it under ``benchmarks/results/`` and
+asserts the qualitative *shape* the paper claims (who wins, exponents,
+crossovers) — absolute constants are simulator-specific.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_table(name: str, title: str, headers: list[str], rows: list[list]) -> str:
+    """Format, print and persist one experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    widths = [
+        max(len(str(h)), max((len(_fmt(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        lines.append("  ".join(_fmt(c).rjust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        if x == 0:
+            return "0"
+        if abs(x) >= 1000 or abs(x) < 0.01:
+            return f"{x:.3g}"
+        return f"{x:.3f}".rstrip("0").rstrip(".")
+    return str(x)
+
+
+def geometric(lo: int, hi: int, factor: int = 2):
+    """Powers-of-factor sweep [lo, hi]."""
+    out = []
+    x = lo
+    while x <= hi:
+        out.append(x)
+        x *= factor
+    return out
+
+
+def flatness(ratios) -> float:
+    """max/min of a positive series — the 'constant band' check."""
+    rs = [r for r in ratios if r > 0]
+    return max(rs) / min(rs) if rs else float("inf")

@@ -1,0 +1,71 @@
+"""E02 — Theorem 3.4: optimality transfer, measured end to end.
+
+For the oblivious MM and FFT vs their aware baselines: measure alpha
+(wiseness), beta (evaluation-model optimality over a sigma grid), then
+check ``D_A / D_C <= (1+alpha)/(alpha*beta)`` on four admissible D-BSP
+machines.  The paper's claim: the bound holds and both sides are Theta(1).
+"""
+
+import numpy as np
+
+from _util import emit_table
+from repro.algorithms import fft, matmul
+from repro.baselines import cube_3d, transpose_fft
+from repro.core import TraceMetrics, measured_alpha, measured_beta, verify_transfer
+from repro.models import fat_tree_dbsp, hypercube_dbsp, mesh_dbsp
+
+MACHINES = {
+    "mesh1d": lambda p: mesh_dbsp(p, d=1),
+    "mesh2d": lambda p: mesh_dbsp(p, d=2),
+    "hypercube": hypercube_dbsp,
+    "fat-tree": fat_tree_dbsp,
+}
+
+
+def run_sweep():
+    rng = np.random.default_rng(2)
+    side, p_mm = 16, 64
+    A, B = rng.random((side, side)), rng.random((side, side))
+    m_mm = TraceMetrics(matmul.run(A, B).trace)
+    c_mm = TraceMetrics(cube_3d(A, B, p_mm).trace)
+
+    n_fft, p_fft = 1024, 16
+    x = rng.random(n_fft) + 0j
+    m_fft = TraceMetrics(fft.run(x).trace)
+    c_fft = TraceMetrics(transpose_fft(x, p_fft).trace)
+
+    sigmas = np.geomspace(0.5, 64, 9)
+    rows = []
+    for label, m_A, m_C, p in (
+        ("matmul", m_mm, c_mm, p_mm),
+        ("fft", m_fft, c_fft, p_fft),
+    ):
+        alpha = min(1.0, measured_alpha(m_A, p))
+        beta = measured_beta(m_A, m_C, p, sigmas)
+        for mname, build in MACHINES.items():
+            rep = verify_transfer(m_A, m_C, build(p), beta=beta, alpha=alpha)
+            rows.append(
+                [
+                    f"{label}@{mname}",
+                    p,
+                    round(alpha, 3),
+                    round(beta, 3),
+                    round(rep.ratio, 3),
+                    round(rep.factor, 3),
+                    "OK" if rep.holds else "VIOLATED",
+                ]
+            )
+    return rows
+
+
+def test_e02_theorem_3_4(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e02_optimality_theorem",
+        "E02  Theorem 3.4: D_A/D_C vs guaranteed (1+a)/(a*b) on admissible D-BSPs",
+        ["algorithm@machine", "p", "alpha", "beta", "D_A/D_C", "bound", "verdict"],
+        rows,
+    )
+    assert all(r[-1] == "OK" for r in rows)
+    # Theta(1) content: measured ratios stay within one order of magnitude.
+    assert max(r[4] for r in rows) < 10.0

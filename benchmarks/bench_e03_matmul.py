@@ -1,0 +1,57 @@
+"""E03 — Theorem 4.2 + Lemma 4.1: oblivious MM communication complexity.
+
+Regenerates the scaling series ``H_MM(n, p, sigma)`` against the paper's
+``O(n/p^{2/3} + sigma log p)`` and the Lemma 4.1 lower bound
+``Omega(n/p^{2/3} + sigma)``: the optimality ratio must sit in a flat
+constant band across p (Theta(1)-optimality), for several sigma.
+"""
+
+import numpy as np
+
+from _util import emit_table, flatness, geometric
+from repro.algorithms import matmul
+from repro.core import TraceMetrics
+from repro.core.lower_bounds import mm_lower_bound
+from repro.core.theory import h_mm_closed
+
+
+def run_sweep():
+    rng = np.random.default_rng(3)
+    rows = []
+    for side in (16, 32, 64):
+        n = side * side
+        res = matmul.run(rng.random((side, side)), rng.random((side, side)))
+        tm = TraceMetrics(res.trace)
+        for p in geometric(8, n, 8):
+            for sigma in (0.0, 4.0):
+                h = tm.H(p, sigma)
+                rows.append(
+                    [
+                        n,
+                        p,
+                        sigma,
+                        int(h),
+                        round(h_mm_closed(n, p, sigma), 1),
+                        round(h / h_mm_closed(n, p, sigma), 2),
+                        round(h / mm_lower_bound(n, p, sigma), 2),
+                    ]
+                )
+    return rows
+
+
+def test_e03_matmul_scaling(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e03_matmul",
+        "E03  Theorem 4.2: H_MM vs n/p^{2/3} + sigma*log p (and Lemma 4.1 ratio)",
+        ["n", "p", "sigma", "H", "closed form", "H/closed", "H/LB"],
+        rows,
+    )
+    # Shape: the ratio to the closed form is a constant band across the
+    # whole (n, p) grid — the Theta(1)-optimality claim.
+    ratios = [r[5] for r in rows if r[2] == 0.0]
+    assert flatness(ratios) < 10.0
+    # And H decreases when p grows (more parallelism, less per-processor).
+    for n in {r[0] for r in rows}:
+        hs = [r[3] for r in rows if r[0] == n and r[2] == 0.0]
+        assert all(a >= b for a, b in zip(hs, hs[1:]))

@@ -1,0 +1,57 @@
+"""E04 — Section 4.1.1: space-efficient MM.
+
+Regenerates ``H_MM-space(n, p, sigma)`` against ``O(n/sqrt(p) +
+sigma*sqrt(p))`` and the Irony–Toledo–Tiskin bound, audits the O(1)
+memory blow-up, and exhibits the communication/space trade-off against
+the 8-way algorithm (who wins where).
+"""
+
+import numpy as np
+
+from _util import emit_table, flatness, geometric
+from repro.algorithms import matmul, matmul_space
+from repro.core import TraceMetrics
+from repro.core.lower_bounds import mm_space_lower_bound
+from repro.core.theory import h_mm_space_closed
+
+
+def run_sweep():
+    rng = np.random.default_rng(4)
+    rows = []
+    for side in (16, 32):
+        n = side * side
+        A, B = rng.random((side, side)), rng.random((side, side))
+        res = matmul_space.run(A, B)
+        tm = TraceMetrics(res.trace)
+        tm8 = TraceMetrics(matmul.run(A, B).trace)
+        for p in geometric(4, n, 4):
+            h = tm.H(p, 0.0)
+            rows.append(
+                [
+                    n,
+                    p,
+                    int(h),
+                    round(h_mm_space_closed(n, p, 0.0), 1),
+                    round(h / h_mm_space_closed(n, p, 0.0), 2),
+                    round(h / mm_space_lower_bound(n, p), 2),
+                    int(tm8.H(p, 0.0)),
+                    res.max_entries_per_vp,
+                ]
+            )
+    return rows
+
+
+def test_e04_matmul_space(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e04_matmul_space",
+        "E04  Sec 4.1.1: H_MM-space vs n/sqrt(p); trade-off vs 8-way MM",
+        ["n", "p", "H_space", "closed", "H/closed", "H/LB", "H_8way", "mem/VP"],
+        rows,
+    )
+    assert flatness([r[4] for r in rows]) < 8.0
+    # Trade-off shape: space-efficient pays MORE communication than 8-way
+    # at large p (n/sqrt p > n/p^{2/3}); both equal-ish at small p.
+    big_p = [r for r in rows if r[1] >= r[0] // 4]
+    assert all(r[2] >= r[6] for r in big_p)
+    assert all(r[7] == 3 for r in rows)  # O(1) memory audit

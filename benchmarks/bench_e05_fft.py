@@ -1,0 +1,59 @@
+"""E05 — Theorem 4.5 + Lemma 4.4: oblivious FFT communication complexity.
+
+Regenerates ``H_FFT(n, p, sigma)`` against ``O((n/p + sigma) log n /
+log(n/p))`` and the Lemma 4.4 lower bound; also compares against the
+p-aware transpose FFT in its validity range (p^2 <= n) where both are
+Theta(n/p + sigma).
+"""
+
+import numpy as np
+
+from _util import emit_table, flatness, geometric
+from repro.algorithms import fft
+from repro.baselines import transpose_fft
+from repro.core import TraceMetrics
+from repro.core.lower_bounds import fft_lower_bound
+from repro.core.theory import h_fft_closed
+
+
+def run_sweep():
+    rng = np.random.default_rng(5)
+    rows = []
+    for n in (256, 1024, 4096):
+        x = rng.random(n) + 0j
+        tm = TraceMetrics(fft.run(x).trace)
+        for p in geometric(4, n, 4):
+            h = tm.H(p, 0.0)
+            aware = (
+                TraceMetrics(transpose_fft(x, p).trace).H(p, 0.0)
+                if p * p <= n
+                else None
+            )
+            rows.append(
+                [
+                    n,
+                    p,
+                    int(h),
+                    round(h_fft_closed(n, p, 0.0), 1),
+                    round(h / h_fft_closed(n, p, 0.0), 2),
+                    round(h / fft_lower_bound(n, p), 2),
+                    int(aware) if aware is not None else "-",
+                ]
+            )
+    return rows
+
+
+def test_e05_fft_scaling(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e05_fft",
+        "E05  Theorem 4.5: H_FFT vs (n/p + sigma) log n / log(n/p)",
+        ["n", "p", "H", "closed", "H/closed", "H/LB", "aware H (p^2<=n)"],
+        rows,
+    )
+    assert flatness([r[4] for r in rows]) < 10.0
+    # In the aware baseline's range, the oblivious algorithm is within a
+    # constant factor — the beta = Theta(1) input to Corollary 4.6.
+    for r in rows:
+        if r[6] != "-" and r[6] > 0:
+            assert r[2] <= 8 * r[6]

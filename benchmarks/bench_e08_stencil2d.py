@@ -1,0 +1,51 @@
+"""E08 — Theorem 4.13: (n,2)-stencil schedule complexity.
+
+Regenerates ``H_2-stencil(n, p, sigma) = O((n^2/sqrt(p)) 8^{sqrt(log n)})``
+from the 17-stage octahedron/tetrahedron schedule (trace-level; see the
+module docstring of repro.algorithms.stencil2d for the documented
+substitution).
+"""
+
+import numpy as np
+
+from _util import emit_table, geometric
+from repro.algorithms import stencil2d
+from repro.core import TraceMetrics
+from repro.core.lower_bounds import stencil_lower_bound
+from repro.core.theory import h_stencil2_closed
+
+
+def run_sweep():
+    rows = []
+    for n in (8, 16, 32):
+        sch = stencil2d.generate(n, stages=1)
+        tm = TraceMetrics(sch.trace)
+        v = sch.v
+        for p in geometric(4, v, 4):
+            h = tm.H(p, 0.0)
+            rows.append(
+                [
+                    n,
+                    sch.k,
+                    p,
+                    int(h),
+                    round(h_stencil2_closed(n, p), 1),
+                    round(h / h_stencil2_closed(n, p), 3),
+                    round(h / stencil_lower_bound(n, 2, p), 3),
+                ]
+            )
+    return rows
+
+
+def test_e08_stencil2d_scaling(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e08_stencil2d",
+        "E08  Theorem 4.13: H_2-stencil (1 stage) vs (n^2/sqrt p) 8^{sqrt log n}",
+        ["n", "k", "p", "H", "closed", "H/closed", "H/Omega(n^2/sqrt p)"],
+        rows,
+    )
+    assert max(r[5] for r in rows) < 4.0
+    for r in rows:
+        n = r[0]
+        assert r[6] <= 4 * (8 ** np.sqrt(np.log2(n)))

@@ -1,0 +1,79 @@
+"""E11 — Corollaries 4.3/4.6/4.9 + D-BSP-vs-network validation.
+
+Part A: communication-time ratios D_oblivious/D_aware on the admissible
+D-BSP presets (the corollaries' Theta(1)-optimality on D-BSP).
+Part B: for each topology, route the oblivious traces on the concrete
+network (congestion+dilation) and compare against the prediction of the
+D-BSP fitted to that topology — the Bilardi et al. '99 premise the
+execution model rests on.
+"""
+
+import numpy as np
+
+from _util import emit_table
+from repro.algorithms import fft, matmul, sorting
+from repro.baselines import cube_3d, sample_sort, transpose_fft
+from repro.core import TraceMetrics
+from repro.models import fat_tree_dbsp, hypercube_dbsp, mesh_dbsp
+from repro.networks import by_name, compare_with_dbsp
+
+PRESETS = {
+    "mesh1d": lambda p: mesh_dbsp(p, d=1),
+    "mesh2d": lambda p: mesh_dbsp(p, d=2),
+    "hypercube": hypercube_dbsp,
+    "fat-tree": fat_tree_dbsp,
+}
+
+
+def run_sweep():
+    rng = np.random.default_rng(8)
+    side = 16
+    A, B = rng.random((side, side)), rng.random((side, side))
+    x = rng.random(1024) + 0j
+    keys = rng.permutation(1024).astype(float)
+
+    pairs = {
+        "matmul(p=64)": (matmul.run(A, B).trace, cube_3d(A, B, 64).trace, 64),
+        "fft(p=16)": (fft.run(x).trace, transpose_fft(x, 16).trace, 16),
+        "sort(p=8)": (sorting.run(keys).trace, sample_sort(keys, 8).trace, 8),
+    }
+    part_a = []
+    for name, (tr_obl, tr_aware, p) in pairs.items():
+        m_o, m_a = TraceMetrics(tr_obl), TraceMetrics(tr_aware)
+        row = [name]
+        for preset, build in PRESETS.items():
+            mach = build(p)
+            row.append(round(m_o.D_machine(mach) / m_a.D_machine(mach), 2))
+        part_a.append(row)
+
+    part_b = []
+    for name, (tr_obl, _, p) in pairs.items():
+        row = [name]
+        for topo_name in ("ring", "mesh2d", "hypercube", "fat-tree"):
+            cmp = compare_with_dbsp(tr_obl, by_name(topo_name, p))
+            row.append(round(cmp.ratio, 2))
+        part_b.append(row)
+    return part_a, part_b
+
+
+def test_e11_dbsp_transfer(benchmark):
+    part_a, part_b = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e11a_dbsp_ratios",
+        "E11a  Corollaries 4.3/4.6/4.9: D_oblivious / D_aware on D-BSP presets",
+        ["algorithm", "mesh1d", "mesh2d", "hypercube", "fat-tree"],
+        part_a,
+    )
+    emit_table(
+        "e11b_network_validation",
+        "E11b  routed time / D-BSP prediction (fitted g, ell per topology)",
+        ["algorithm", "ring", "mesh2d", "hypercube", "fat-tree"],
+        part_b,
+    )
+    # Corollary content: oblivious within a constant of aware on every
+    # admissible machine.
+    for row in part_a:
+        assert max(row[1:]) < 12.0
+    # Model validity: prediction within one order of magnitude of routing.
+    for row in part_b:
+        assert all(0.05 <= x <= 20.0 for x in row[1:])

@@ -1,0 +1,62 @@
+"""E15 (ablation) — the stencil recursion degree k.
+
+Section 4.4.1's closing remark: "a tighter analysis of the algorithm
+and/or the adoption of different values for the recursion degree k, still
+independent of p and sigma, may yield slightly better efficiency".  This
+ablation sweeps k over powers of two around the paper's
+``2^{ceil(sqrt(log n))}`` and measures H and superstep counts: the
+paper's choice should sit near the bottom of the communication curve
+(it balances the ``(2k)^{log_k p}`` blow-up against the ``log_k n``
+recursion depth), with correctness unchanged.
+"""
+
+import numpy as np
+
+from _util import emit_table
+from repro.algorithms import stencil1d
+from repro.core import TraceMetrics
+from repro.core.theory import stencil_k
+from repro.dag.stencil_dag import evaluate_stencil_1d
+
+
+def run_sweep():
+    rng = np.random.default_rng(10)
+    n = 128
+    x0 = rng.random(n)
+    ref = evaluate_stencil_1d(x0, n)
+    rows = []
+    for k in (2, 4, 8, 16, 32):
+        res = stencil1d.run(x0, k=k)
+        assert np.allclose(res.grid, ref), f"k={k} broke correctness"
+        tm = TraceMetrics(res.trace)
+        rows.append(
+            [
+                k,
+                "(paper)" if k == stencil_k(n) else "",
+                res.supersteps,
+                int(tm.H(n, 0.0)),
+                int(tm.H(16, 0.0)),
+                round(tm.H(n, 1.0), 0),
+            ]
+        )
+    return rows
+
+
+def test_e15_stencil_k_ablation(benchmark):
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    emit_table(
+        "e15_stencil_k_ablation",
+        "E15  ablation: recursion degree k for the (n,1)-stencil, n=128",
+        ["k", "", "supersteps", "H(n,0)", "H(16,0)", "H(n,1)"],
+        rows,
+    )
+    by_k = {r[0]: r for r in rows}
+    paper_k = stencil_k(128)
+    # The paper's k is within 2x of the best measured H at full fold.
+    best = min(r[3] for r in rows)
+    assert by_k[paper_k][3] <= 2.5 * best
+    # Extreme k=2 pays many more supersteps (deep recursion) ...
+    assert by_k[2][2] > by_k[paper_k][2]
+    # ... while huge k degenerates toward the wavefront (H grows or the
+    # superstep count collapses toward 2n).
+    assert by_k[32][2] != by_k[paper_k][2]

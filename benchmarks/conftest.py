@@ -1,0 +1,6 @@
+"""Bench configuration: every bench runs its sweep once via pedantic."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

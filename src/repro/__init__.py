@@ -1,0 +1,40 @@
+"""repro — Network-Oblivious Algorithms (Bilardi et al., IPDPS'07 / JACM'16).
+
+A complete Python reproduction of the network-oblivious algorithms
+framework: the M(v) specification machine, the M(p, sigma) evaluation
+model, the D-BSP(p, g, ell) execution model, the optimality theorem
+(Theorem 3.4) and ascend–descend protocol (Section 5), plus
+network-oblivious algorithms for matrix multiplication, FFT, sorting,
+stencil computations and broadcast, parameter-aware baselines, DAG and
+network substrates, and the full experiment harness.
+
+Quickstart
+----------
+>>> from repro.algorithms import matmul
+>>> from repro import TraceMetrics
+>>> import numpy as np
+>>> result = matmul.run(np.eye(4), np.eye(4))
+>>> bool(np.allclose(result.product, np.eye(4)))
+True
+>>> TraceMetrics(result.trace).H(p=4, sigma=1.0) > 0
+True
+"""
+
+from repro import core, machine, models
+from repro.core import TraceMetrics
+from repro.machine import Machine, Trace
+from repro.models import DBSP, EvaluationModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "machine",
+    "models",
+    "core",
+    "Machine",
+    "Trace",
+    "TraceMetrics",
+    "DBSP",
+    "EvaluationModel",
+    "__version__",
+]

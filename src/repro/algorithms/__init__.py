@@ -1,0 +1,40 @@
+"""Network-oblivious algorithms (Section 4 of the paper).
+
+==================  ===============================================
+module              problem / paper section
+==================  ===============================================
+``matmul``          n-MM, 8-way recursion (4.1)
+``matmul_space``    n-MM, space-efficient 4-way/2-round (4.1.1)
+``fft``             n-FFT, recursive sqrt-decomposition (4.2)
+``sorting``         n-sort, recursive Columnsort (4.3)
+``stencil1d``       (n,1)-stencil / diamond DAGs (4.4.1, Figure 1)
+``stencil2d``       (n,2)-stencil schedule (4.4.2)
+``broadcast``       n-broadcast + GAP measurements (4.5)
+``prefix``          tree-based prefix sums (substrate for Section 5)
+``semiring``        semirings for the MM algorithms
+==================  ===============================================
+"""
+
+from repro.algorithms import (
+    broadcast,
+    fft,
+    matmul,
+    matmul_space,
+    prefix,
+    semiring,
+    sorting,
+    stencil1d,
+    stencil2d,
+)
+
+__all__ = [
+    "matmul",
+    "matmul_space",
+    "fft",
+    "sorting",
+    "stencil1d",
+    "stencil2d",
+    "broadcast",
+    "prefix",
+    "semiring",
+]

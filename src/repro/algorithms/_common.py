@@ -1,0 +1,103 @@
+"""Shared plumbing for the Section-4 network-oblivious algorithms.
+
+All algorithms in this package follow the same discipline:
+
+* they are *static*: the superstep sequence, labels and message endpoint
+  sets depend only on the input size;
+* they are driven globally (a "director" builds each superstep's message
+  arrays for all VPs at once), which is both the natural encoding of
+  static algorithms and orders of magnitude faster than per-VP actors in
+  Python;
+* value motion is tracked in driver-held numpy arrays whose ownership
+  convention mirrors the VP layout exactly — every recorded message
+  corresponds to one matrix/vector entry (or a wiseness dummy) moving
+  between VPs, and end-to-end output correctness is asserted against
+  reference implementations in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.engine import Machine
+from repro.machine.trace import Trace
+
+__all__ = ["AlgorithmResult", "SendBuffer", "add_wiseness_dummies"]
+
+
+@dataclass
+class AlgorithmResult:
+    """Base result: the specification machine trace plus metadata."""
+
+    trace: Trace
+    v: int
+    n: int
+    supersteps: int
+    messages: int
+
+    @classmethod
+    def _from_machine(cls, machine: Machine, n: int, **kw):
+        return cls(
+            trace=machine.trace,
+            v=machine.v,
+            n=n,
+            supersteps=machine.trace.num_supersteps,
+            messages=machine.trace.total_messages,
+            **kw,
+        )
+
+
+class SendBuffer:
+    """Accumulates message endpoints for one superstep across many tasks.
+
+    Level-synchronous recursions (all tasks of a recursion level emit into
+    the *same* superstep) append per-task endpoint arrays here; ``flush``
+    submits the concatenated arrays to the machine as one superstep.
+    """
+
+    def __init__(self) -> None:
+        self._src: list[np.ndarray] = []
+        self._dst: list[np.ndarray] = []
+
+    def add(self, src: np.ndarray, dst: np.ndarray) -> None:
+        if len(src):
+            self._src.append(np.asarray(src, dtype=np.int64))
+            self._dst.append(np.asarray(dst, dtype=np.int64))
+
+    def add_pairs(self, pairs) -> None:
+        """Append from an iterable of ``(src, dst)`` Python ints."""
+        arr = np.array(list(pairs), dtype=np.int64).reshape(-1, 2)
+        if len(arr):
+            self._src.append(arr[:, 0])
+            self._dst.append(arr[:, 1])
+
+    def flush(self, machine: Machine, label: int) -> None:
+        src = (
+            np.concatenate(self._src) if self._src else np.empty(0, dtype=np.int64)
+        )
+        dst = (
+            np.concatenate(self._dst) if self._dst else np.empty(0, dtype=np.int64)
+        )
+        machine.superstep(label, (), src_arr=src, dst_arr=dst)
+        self._src.clear()
+        self._dst.clear()
+
+
+def add_wiseness_dummies(buf: SendBuffer, v: int, label: int, multiplicity: int) -> None:
+    """Append the paper's wiseness dummy pattern to a send buffer.
+
+    Section 4.1 (and analogously 4.2/4.3): in each ``label``-superstep,
+    VP_j sends ``multiplicity`` dummy messages to VP_{j + v/2^{label+1}}
+    for ``0 <= j < v/2^{label+1}`` — the first half of the first
+    ``label``-cluster exercises the (label+1)-boundary at full degree, so
+    the folded degree scales as ``p/2^j`` and the algorithm is
+    ((1), v)-wise without changing its asymptotic cost.
+    """
+    half = v >> (label + 1)
+    if half == 0 or multiplicity <= 0:
+        return
+    j = np.arange(half, dtype=np.int64)
+    src = np.tile(j, multiplicity)
+    buf.add(src, src + half)

@@ -1,0 +1,99 @@
+"""Tree-based prefix sums on M(v) (Jájá '92; used by Section 5).
+
+The ascend–descend protocol of Section 5 needs a prefix-like computation
+inside every cluster to agree on intermediate message destinations
+(Lemma 5.1 charges "O(log p) k-supersteps of constant degree" for it).
+This module implements the classic two-sweep (Blelloch) scan as a
+first-class network-oblivious algorithm on ``M(v)``:
+
+* **up-sweep**: level ``d`` combines pairs at distance ``2^d``; the
+  superstep label is ``log v - d - 1`` (the pair lies in a common
+  ``(log v - d - 1)``-cluster), degree 1;
+* **down-sweep**: mirrors the pattern to distribute prefix offsets.
+
+The result is an *exclusive* scan by default (``out[i] = sum_{j<i} x[j]``);
+``inclusive=True`` adds the local element back.  Labels get finer as the
+sweep descends, which is exactly the submachine locality D-BSP rewards:
+on D-BSP with geometric parameters the scan costs ``O(g_0 + ell_0)``
+(cf. the remark closing Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.algorithms._common import AlgorithmResult
+from repro.machine.engine import Machine
+from repro.util.intmath import ilog2
+
+__all__ = ["run", "PrefixResult"]
+
+
+@dataclass
+class PrefixResult(AlgorithmResult):
+    """Result of the prefix-sums run."""
+
+    output: np.ndarray = None
+
+
+def run(
+    x: np.ndarray,
+    *,
+    op: Callable = np.add,
+    identity: Any = 0,
+    inclusive: bool = False,
+) -> PrefixResult:
+    """Prefix-combine ``x`` under the associative ``op`` on ``M(v)``.
+
+    ``x`` must have power-of-two length.  VP ``i`` starts with ``x[i]`` and
+    ends with ``op(x[0], ..., x[i-1])`` (exclusive) or including ``x[i]``
+    (inclusive).
+    """
+    x = np.asarray(x)
+    v = x.shape[0]
+    logv = ilog2(v)
+    machine = Machine(v, deliver=False)
+    val = x.astype(np.result_type(x, type(identity)), copy=True)
+
+    if v == 1:
+        out = np.array([identity]) if not inclusive else val
+        return PrefixResult(machine.trace, 1, 1, 0, 0, output=out)
+
+    # Up-sweep: right child of each distance-2^d pair absorbs the left sum.
+    for d in range(logv):
+        stride = 1 << (d + 1)
+        right = np.arange(stride - 1, v, stride, dtype=np.int64)
+        left = right - (1 << d)
+        machine.superstep(logv - d - 1, (), src_arr=left, dst_arr=right)
+        val[right] = op(val[left], val[right])
+
+    # Down-sweep: root seeds the identity; each node pushes prefixes down.
+    total = val[v - 1]
+    val[v - 1] = identity
+    for d in range(logv - 1, -1, -1):
+        stride = 1 << (d + 1)
+        right = np.arange(stride - 1, v, stride, dtype=np.int64)
+        left = right - (1 << d)
+        # left and right swap/combine: two messages per pair.
+        src = np.concatenate([left, right])
+        dst = np.concatenate([right, left])
+        machine.superstep(logv - d - 1, (), src_arr=src, dst_arr=dst)
+        t = val[left].copy()
+        val[left] = val[right]
+        val[right] = op(t, val[right])
+
+    if inclusive:
+        val = op(val, x)
+    res = PrefixResult(
+        trace=machine.trace,
+        v=v,
+        n=v,
+        supersteps=machine.trace.num_supersteps,
+        messages=machine.trace.total_messages,
+        output=val,
+    )
+    res.total = total
+    return res

@@ -1,0 +1,141 @@
+"""High-level sweep and report utilities for experiment pipelines.
+
+These wrap the one-trace-many-machines workflow into ready-made tables:
+``h_sweep`` (evaluation model over a p x sigma grid), ``d_sweep``
+(execution model over machine presets), ``optimality_sweep``
+(measured-vs-lower-bound ratios) and ``wiseness_report``.  The benches
+and examples use them; downstream users get the same one-liners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.fullness import measured_gamma
+from repro.core.metrics import TraceMetrics
+from repro.core.wiseness import measured_alpha
+from repro.machine.trace import Trace
+from repro.models.presets import PRESETS
+from repro.util.intmath import ilog2
+
+__all__ = [
+    "SweepTable",
+    "h_sweep",
+    "d_sweep",
+    "optimality_sweep",
+    "wiseness_report",
+    "default_fold_grid",
+]
+
+
+@dataclass(frozen=True)
+class SweepTable:
+    """A labelled table: ``rows[i][j]`` is the cell for (index[i], columns[j])."""
+
+    name: str
+    index: tuple
+    columns: tuple
+    rows: tuple
+
+    def as_dict(self) -> dict:
+        return {
+            idx: dict(zip(self.columns, row))
+            for idx, row in zip(self.index, self.rows)
+        }
+
+    def column(self, col) -> list:
+        j = self.columns.index(col)
+        return [row[j] for row in self.rows]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        widths = [
+            max(len(str(c)), *(len(f"{row[j]:.4g}") for row in self.rows))
+            for j, c in enumerate(self.columns)
+        ]
+        head = " " * 8 + "  ".join(
+            str(c).rjust(w) for c, w in zip(self.columns, widths)
+        )
+        lines = [self.name, head]
+        for idx, row in zip(self.index, self.rows):
+            lines.append(
+                f"{str(idx):>8}"
+                + "  "
+                + "  ".join(f"{x:.4g}".rjust(w) for x, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+
+def default_fold_grid(v: int, *, factor: int = 4, start: int = 4) -> list[int]:
+    """Power-of-``factor`` processor counts up to ``v``."""
+    ilog2(v)
+    out = []
+    p = start
+    while p <= v:
+        out.append(p)
+        p *= factor
+    return out or [v]
+
+
+def h_sweep(
+    trace: Trace,
+    ps: Sequence[int] | None = None,
+    sigmas: Sequence[float] = (0.0, 1.0, 4.0, 16.0),
+    *,
+    name: str = "H(n, p, sigma)",
+) -> SweepTable:
+    """Eq. 1 over a (p, sigma) grid."""
+    tm = TraceMetrics(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(trace.v)
+    rows = tuple(
+        tuple(tm.H(p, s) for s in sigmas) for p in ps
+    )
+    return SweepTable(name, tuple(ps), tuple(sigmas), rows)
+
+
+def d_sweep(
+    trace: Trace,
+    p: int,
+    machines: Mapping[str, Callable[[int], object]] | None = None,
+    *,
+    name: str = "D(n, p, g, ell)",
+) -> SweepTable:
+    """Eq. 2 on a family of machine presets at fixed p."""
+    tm = TraceMetrics(trace)
+    machines = dict(machines) if machines is not None else dict(PRESETS)
+    cols, vals = [], []
+    for mname, build in machines.items():
+        cols.append(mname)
+        vals.append(tm.D_machine(build(p)))
+    return SweepTable(name, (p,), tuple(cols), (tuple(vals),))
+
+
+def optimality_sweep(
+    trace: Trace,
+    lower_bound: Callable[[int, int, float], float],
+    n: int,
+    ps: Sequence[int] | None = None,
+    sigmas: Sequence[float] = (0.0, 4.0),
+    *,
+    name: str = "H / lower bound",
+) -> SweepTable:
+    """Measured-H over a paper lower bound: flat rows = Theta(1)-optimality."""
+    tm = TraceMetrics(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(trace.v)
+    rows = tuple(
+        tuple(tm.H(p, s) / lower_bound(n, p, s) for s in sigmas) for p in ps
+    )
+    return SweepTable(name, tuple(ps), tuple(sigmas), rows)
+
+
+def wiseness_report(trace: Trace, ps: Sequence[int] | None = None) -> SweepTable:
+    """alpha (Def. 3.2) and gamma (Def. 5.2) across fold sizes."""
+    tm = TraceMetrics(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(trace.v)
+    rows = tuple(
+        (measured_alpha(tm, p), float(min(measured_gamma(tm, p), np.inf)))
+        for p in ps
+    )
+    return SweepTable("wiseness/fullness", tuple(ps), ("alpha", "gamma"), rows)

@@ -1,0 +1,21 @@
+"""Parameter-aware BSP baselines — the competitors of class C.
+
+Theorem 3.4's class C "includes algorithms that are network aware — whose
+code can make explicit use of the architectural parameters": these modules
+implement the classic aware algorithms the experiments compare against.
+"""
+
+from repro.baselines.bsp_broadcast import aware_broadcast, aware_H, optimal_kappa
+from repro.baselines.bsp_fft import transpose_fft
+from repro.baselines.bsp_matmul import cube_3d, summa_2d
+from repro.baselines.bsp_sort import sample_sort
+
+__all__ = [
+    "summa_2d",
+    "cube_3d",
+    "transpose_fft",
+    "sample_sort",
+    "aware_broadcast",
+    "aware_H",
+    "optimal_kappa",
+]

@@ -1,0 +1,41 @@
+"""Sigma-aware broadcast: the matching upper bound of Theorem 4.15.
+
+The paper's optimal ``M(p, sigma)`` broadcast chooses the tree arity from
+the latency: ``kappa`` = the smallest power of two ``>= max(2, sigma)``,
+giving ``H = O((kappa + sigma) log_kappa p) = O(max(2,sigma)
+log_{max(2,sigma)} p)`` — the lower bound with matching constants.  This
+knowledge of sigma is exactly what a network-oblivious algorithm is
+denied (Theorem 4.16), so this module is the reference the GAP
+experiments divide by.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.broadcast import BroadcastResult
+from repro.algorithms.broadcast import run as _kappa_run
+from repro.util.intmath import next_power_of_two
+
+__all__ = ["optimal_kappa", "aware_broadcast", "aware_H"]
+
+import numpy as np
+
+from repro.core.metrics import TraceMetrics
+
+
+def optimal_kappa(sigma: float) -> int:
+    """Smallest power of two >= max(2, sigma) (the paper's kappa)."""
+    return next_power_of_two(max(2, int(np.ceil(max(2.0, sigma)))))
+
+
+def aware_broadcast(values, sigma: float) -> BroadcastResult:
+    """Run the sigma-aware kappa-ary broadcast on ``M(n)``."""
+    return _kappa_run(np.asarray(values), kappa=optimal_kappa(sigma))
+
+
+def aware_H(n: int, p: int, sigma: float) -> float:
+    """Communication complexity of the aware algorithm on ``M(p, sigma)``.
+
+    Convenience wrapper running the aware algorithm and folding to ``p``.
+    """
+    res = aware_broadcast(np.zeros(n), sigma)
+    return TraceMetrics(res.trace).H(p, sigma)

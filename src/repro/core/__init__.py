@@ -1,0 +1,66 @@
+"""The network-oblivious framework core (the paper's contribution).
+
+Exports the metric engine, the wiseness/fullness measures (Defs. 3.2 and
+5.2), the Theorem 3.4 optimality-transfer machinery, the Section-5
+ascend–descend protocol, the paper's lower bounds and the closed-form
+cost predictions of the Section-4 theorems.
+"""
+
+from repro.core.ascend_descend import ascend_descend_trace, rebalance_superstep
+from repro.core.fullness import fullness_profile, is_full, measured_gamma
+from repro.core.lemmas import (
+    check_lemma_3_1,
+    lemma_3_1_slack,
+    lemma_3_3_holds,
+    weighted_sum_dominates,
+)
+from repro.core.lower_bounds import (
+    broadcast_gap_lower_bound,
+    broadcast_lower_bound,
+    broadcast_optimal_supersteps,
+    fft_lower_bound,
+    mm_lower_bound,
+    mm_space_lower_bound,
+    sort_lower_bound,
+    stencil_lower_bound,
+)
+from repro.core.metrics import TraceMetrics
+from repro.core.optimality import (
+    TransferReport,
+    is_admissible,
+    measured_beta,
+    psi_window,
+    transfer_factor,
+    verify_transfer,
+)
+from repro.core.wiseness import is_wise, measured_alpha, wiseness_profile
+
+__all__ = [
+    "TraceMetrics",
+    "wiseness_profile",
+    "measured_alpha",
+    "is_wise",
+    "fullness_profile",
+    "measured_gamma",
+    "is_full",
+    "check_lemma_3_1",
+    "lemma_3_1_slack",
+    "lemma_3_3_holds",
+    "weighted_sum_dominates",
+    "transfer_factor",
+    "psi_window",
+    "is_admissible",
+    "measured_beta",
+    "verify_transfer",
+    "TransferReport",
+    "ascend_descend_trace",
+    "rebalance_superstep",
+    "mm_lower_bound",
+    "mm_space_lower_bound",
+    "fft_lower_bound",
+    "sort_lower_bound",
+    "stencil_lower_bound",
+    "broadcast_lower_bound",
+    "broadcast_optimal_supersteps",
+    "broadcast_gap_lower_bound",
+]

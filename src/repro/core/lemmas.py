@@ -1,0 +1,89 @@
+"""Executable forms of the paper's technical lemmas (Section 3).
+
+These are used both as test oracles (property-based tests check them on
+random traces/sequences) and inside the optimality machinery.
+
+* **Lemma 3.1** (folding inequality): for a static M(p, sigma)-algorithm B
+  and any fold ``2^j <= p``::
+
+      sum_{i<j} F^i_B(n, 2^j)  <=  (p / 2^j) * sum_{i<j} F^i_B(n, p)
+
+  Each processor of the folded machine carries ``p/2^j`` original
+  processors, so its sent/received message count is at most the sum of
+  theirs.
+
+* **Lemma 3.3** (Abel-summation comparison): if prefix sums of ``X`` are
+  dominated by prefix sums of ``Y`` and ``f`` is non-increasing and
+  non-negative, then ``sum X_i f_i <= sum Y_i f_i``.  This is the bridge
+  from label-blind communication complexity to label-weighted
+  communication time in Theorem 3.4's proof.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import TraceMetrics
+from repro.util.intmath import ilog2
+
+__all__ = [
+    "check_lemma_3_1",
+    "lemma_3_1_slack",
+    "lemma_3_3_holds",
+    "weighted_sum_dominates",
+]
+
+
+def lemma_3_1_slack(metrics: TraceMetrics, p: int) -> np.ndarray:
+    """Per-``j`` ratios ``lhs/rhs`` of Lemma 3.1 (must be <= 1).
+
+    Entry ``j-1`` is
+    ``sum_{i<j} F^i(n,2^j) / ((p/2^j) sum_{i<j} F^i(n,p))`` — i.e. exactly
+    the wiseness ratio; Lemma 3.1 asserts it never exceeds 1.  Vacuous
+    folds (zero denominator with zero numerator) report 0.
+    """
+    logp = ilog2(p)
+    out = np.zeros(logp, dtype=np.float64)
+    pref_p = metrics.prefix_F(p)
+    for j in range(1, logp + 1):
+        num = float(metrics.prefix_F(1 << j)[j - 1])
+        den = (p / (1 << j)) * float(pref_p[j - 1])
+        if den == 0:
+            if num != 0:
+                out[j - 1] = np.inf
+        else:
+            out[j - 1] = num / den
+    return out
+
+
+def check_lemma_3_1(metrics: TraceMetrics, p: int, *, tol: float = 1e-9) -> bool:
+    """True iff the folding inequality holds for every ``j`` (it must)."""
+    return bool(np.all(lemma_3_1_slack(metrics, p) <= 1.0 + tol))
+
+
+def lemma_3_3_holds(X, Y, f, *, tol: float = 1e-9) -> bool:
+    """Check the hypothesis and conclusion chain of Lemma 3.3.
+
+    Given sequences with ``sum_{i<k} X_i <= sum_{i<k} Y_i`` for all k and a
+    non-increasing non-negative ``f``, verifies
+    ``sum X_i f_i <= sum Y_i f_i``.  Raises if the hypotheses themselves
+    are violated (caller bug), returns the conclusion truth value.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    f = np.asarray(f, dtype=np.float64)
+    if not (X.shape == Y.shape == f.shape):
+        raise ValueError("X, Y, f must have equal length")
+    if np.any(f < -tol) or np.any(f[:-1] < f[1:] - tol):
+        raise ValueError("f must be non-negative and non-increasing")
+    if np.any(np.cumsum(X) > np.cumsum(Y) + tol):
+        raise ValueError("prefix-domination hypothesis violated")
+    return bool(float(X @ f) <= float(Y @ f) + tol)
+
+
+def weighted_sum_dominates(X, Y, f) -> float:
+    """Return ``sum Y_i f_i - sum X_i f_i`` (>= 0 under Lemma 3.3)."""
+    X = np.asarray(X, dtype=np.float64)
+    Y = np.asarray(Y, dtype=np.float64)
+    f = np.asarray(f, dtype=np.float64)
+    return float(Y @ f - X @ f)

@@ -1,0 +1,99 @@
+"""Communication lower bounds the paper measures its algorithms against.
+
+Each function returns the Omega(...) expression with unit constants; the
+experiments report *optimality ratios* ``H_measured / lower_bound`` whose
+flatness across parameter sweeps is the reproduction target (constants
+hidden by Omega are not recoverable from the paper).
+
+Sources:
+
+* Lemma 4.1   — n-MM in class C:      ``Omega(n / p^{2/3} + sigma)``
+  (Scquizzato & Silvestri '14, Thm 2; Kerr '70 for the semiring model).
+* Irony, Toledo & Tiskin '04 — n-MM with O(n/v) memory per PE:
+  ``Omega(n / sqrt(p))``.
+* Lemma 4.4   — n-FFT in class C:     ``Omega((n log n)/(p log(n/p)) + sigma)``.
+* Lemma 4.7   — n-sort in class C:    same expression as FFT.
+* Lemma 4.10  — (n,d)-stencil:        ``Omega(n^d / p^{(d-1)/d} + sigma)``.
+* Theorem 4.15 — n-broadcast:         ``Omega(max(2,sigma) log_{max(2,sigma)} p)``.
+* Theorem 4.16 — broadcast GAP:       ``Omega(log s2 / (log s1 + log log s2))``
+  with ``s = max(2, sigma)``.
+
+All use the paper's ``log x = max(1, log2 x)`` convention so expressions
+stay finite at the boundary ``p = n``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.intmath import paper_log
+
+__all__ = [
+    "mm_lower_bound",
+    "mm_space_lower_bound",
+    "fft_lower_bound",
+    "sort_lower_bound",
+    "stencil_lower_bound",
+    "broadcast_lower_bound",
+    "broadcast_optimal_supersteps",
+    "broadcast_gap_lower_bound",
+]
+
+
+def mm_lower_bound(n: int, p: int, sigma: float = 0.0) -> float:
+    """Lemma 4.1: ``Omega(n/p^{2/3} + sigma)`` for n-MM in class C."""
+    return n / p ** (2.0 / 3.0) + sigma
+
+
+def mm_space_lower_bound(n: int, p: int, sigma: float = 0.0) -> float:
+    """Irony et al.: ``Omega(n/sqrt(p))`` for n-MM with O(n/v) memory."""
+    return n / math.sqrt(p) + sigma
+
+
+def fft_lower_bound(n: int, p: int, sigma: float = 0.0) -> float:
+    """Lemma 4.4: ``Omega((n log n)/(p log(n/p)) + sigma)`` for n-FFT."""
+    return (n * paper_log(n)) / (p * paper_log(n / p)) + sigma
+
+
+def sort_lower_bound(n: int, p: int, sigma: float = 0.0) -> float:
+    """Lemma 4.7: same form as the FFT bound, for comparison sorting."""
+    return fft_lower_bound(n, p, sigma)
+
+
+def stencil_lower_bound(n: int, d: int, p: int, sigma: float = 0.0) -> float:
+    """Lemma 4.10: ``Omega(n^d / p^{(d-1)/d} + sigma)`` for the (n,d)-stencil."""
+    if d < 1:
+        raise ValueError(f"stencil dimension must be >= 1, got {d}")
+    return n**d / p ** ((d - 1.0) / d) + sigma
+
+
+def broadcast_lower_bound(p: int, sigma: float = 0.0) -> float:
+    """Theorem 4.15: ``Omega(max(2,sigma) * log_{max(2,sigma)} p)``.
+
+    Derivation: with t supersteps the knowing-set grows by at most a
+    ``p^{1/t}`` factor per superstep while each superstep costs at least
+    ``max(2, sigma)``; optimising t gives ``t = Theta(log_{max(2,sigma)} p)``.
+    """
+    s = max(2.0, float(sigma))
+    return s * max(1.0, math.log(p, s))
+
+
+def broadcast_optimal_supersteps(p: int, sigma: float) -> int:
+    """The optimal superstep count ``t = Theta(log_{max(2,sigma)} p)``."""
+    s = max(2.0, float(sigma))
+    return max(1, round(math.log(p, s)))
+
+
+def broadcast_gap_lower_bound(p: int, sigma1: float, sigma2: float) -> float:
+    """Theorem 4.16: lower bound on GAP_A(n, p, sigma1, sigma2).
+
+    Any *oblivious* broadcast algorithm (whose superstep count t cannot
+    depend on sigma) loses at least
+    ``Omega(log s2 / (log s1 + log log s2))`` against the best
+    sigma-aware algorithm somewhere in ``[sigma1, sigma2]``.
+    """
+    if sigma1 > sigma2:
+        raise ValueError("need sigma1 <= sigma2")
+    s1 = max(2.0, float(sigma1))
+    s2 = max(2.0, float(sigma2))
+    return math.log2(s2) / (math.log2(s1) + max(1.0, math.log2(max(2.0, math.log2(s2)))))

@@ -1,0 +1,189 @@
+"""Theorem 3.4 — the optimality theorem — as executable machinery.
+
+Definitions 2.1/2.2 define *beta-optimality* of an algorithm within a
+class C on a fixed machine: B is beta-optimal on M(p, sigma) if
+``H_B <= (1/beta) H_B'`` for every B' in C (and analogously with D on the
+D-BSP).  Theorem 3.4 then states: if a network-oblivious algorithm A is
+
+* static and (alpha, p*)-wise, and
+* beta-optimal on every ``M(2^j, sigma)`` for ``sigma`` in the window
+  ``[sigma^m_{j-1}, sigma^M_{j-1}]``, ``1 <= j <= log p*``,
+
+then for every ``p <= p*`` and every admissible ``D-BSP(p, g, ell)`` —
+non-increasing ``g_i``, non-increasing ``ell_i/g_i``, and
+
+    max_k sigma^m_{k-1} 2^k / p*   <=   ell_i / g_i   <=   min_k sigma^M_{k-1} 2^k / p*
+
+— A is ``alpha*beta/(1+alpha)``-optimal on that D-BSP.
+
+This module provides:
+
+* :func:`transfer_factor` — the guaranteed optimality factor;
+* :func:`psi_window` / :func:`is_admissible` — the parameter-range
+  conditions on (g, ell);
+* :func:`measured_beta` — empirical beta of A against a competitor over a
+  sigma grid (the best observable surrogate for class-wide optimality);
+* :func:`verify_transfer` — end-to-end empirical check that
+  ``D_A <= (1+alpha)/(alpha*beta) * D_C`` on a given admissible machine,
+  the exact inequality chain the theorem's proof establishes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import TraceMetrics
+from repro.core.wiseness import measured_alpha
+from repro.models.dbsp import DBSP
+from repro.util.intmath import ilog2
+
+__all__ = [
+    "transfer_factor",
+    "psi_window",
+    "is_admissible",
+    "measured_beta",
+    "TransferReport",
+    "verify_transfer",
+]
+
+
+def transfer_factor(alpha: float, beta: float) -> float:
+    """The D-BSP optimality factor ``alpha*beta/(1+alpha)`` of Theorem 3.4.
+
+    For an ((1),p)-wise, Theta(1)-optimal algorithm this is Theta(1) —
+    the "bootstrap" from the two-parameter evaluation model to the
+    2-log-p-parameter execution model.
+    """
+    if not 0 < alpha <= 1:
+        raise ValueError(f"alpha must be in (0,1], got {alpha}")
+    if not 0 < beta <= 1:
+        raise ValueError(f"beta must be in (0,1], got {beta}")
+    return alpha * beta / (1.0 + alpha)
+
+
+def psi_window(sigma_min, sigma_max, p_star: int) -> tuple[float, float]:
+    """The ``[psi^m, psi^M]`` window that ``ell_i/g_i`` must fall in.
+
+    ``sigma_min``/``sigma_max`` are the per-level sigma-window vectors
+    ``(sigma^m_0 ... sigma^m_{log p* - 1})`` of the theorem;
+    returns ``(max_k sigma^m_{k-1} 2^k / p*, min_k sigma^M_{k-1} 2^k / p*)``.
+    Raises if the window is empty (the theorem's footnote 4 requires the
+    vectors to make it non-empty).
+    """
+    logp = ilog2(p_star)
+    sm = np.asarray(sigma_min, dtype=np.float64)
+    sM = np.asarray(sigma_max, dtype=np.float64)
+    if sm.shape != (logp,) or sM.shape != (logp,):
+        raise ValueError(f"sigma windows must have length log2(p*)={logp}")
+    if np.any(sm > sM):
+        raise ValueError("need sigma^m_j <= sigma^M_j for every j")
+    ks = np.arange(1, logp + 1)
+    lo = float(np.max(sm * (2.0**ks) / p_star))
+    hi = float(np.min(sM * (2.0**ks) / p_star))
+    if lo > hi:
+        raise ValueError(
+            f"empty admissible window: psi^m={lo} > psi^M={hi}; widen the "
+            "sigma windows (footnote 4 of the paper)"
+        )
+    return lo, hi
+
+
+def is_admissible(
+    machine: DBSP, sigma_min, sigma_max, p_star: int, *, tol: float = 1e-9
+) -> bool:
+    """Check the D-BSP parameter conditions of Theorem 3.4.
+
+    The machine's own constructor enforces the monotonicity of ``g_i`` and
+    ``ell_i/g_i``; here we additionally check the psi window for its
+    ``p <= p*``.
+    """
+    if machine.p > p_star:
+        return False
+    try:
+        lo, hi = psi_window(sigma_min, sigma_max, p_star)
+    except ValueError:
+        return False  # empty window admits no machine
+    ratios = machine.capacity_ratios()
+    return bool(np.all(ratios >= lo - tol) and np.all(ratios <= hi + tol))
+
+
+def measured_beta(
+    metrics_A: TraceMetrics,
+    metrics_ref: TraceMetrics,
+    p: int,
+    sigmas,
+) -> float:
+    """Empirical beta of A against a reference algorithm on ``M(p, .)``.
+
+    ``beta = min over sigma of H_ref / H_A`` capped at 1: if A never costs
+    more than the reference it is (at least) 1-optimal *relative to that
+    reference*.  True class-wide beta-optimality needs a lower bound; the
+    experiments combine this with :mod:`repro.core.lower_bounds`.
+    """
+    best = 1.0
+    for sigma in sigmas:
+        ha = metrics_A.H(p, sigma)
+        hr = metrics_ref.H(p, sigma)
+        if ha > 0:
+            best = min(best, hr / ha)
+        # ha == 0 means A communicated nothing: optimal at this sigma.
+    return best
+
+
+@dataclass(frozen=True)
+class TransferReport:
+    """Outcome of an empirical Theorem 3.4 check on one machine."""
+
+    p: int
+    alpha: float
+    beta: float
+    factor: float  # (1+alpha)/(alpha*beta): guaranteed D_A/D_C bound
+    D_A: float
+    D_C: float
+    ratio: float  # measured D_A / D_C
+    holds: bool
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "OK" if self.holds else "VIOLATED"
+        return (
+            f"[{flag}] p={self.p}: D_A/D_C = {self.ratio:.3f} "
+            f"<= (1+a)/(a*b) = {self.factor:.3f} "
+            f"(alpha={self.alpha:.3f}, beta={self.beta:.3f})"
+        )
+
+
+def verify_transfer(
+    metrics_A: TraceMetrics,
+    metrics_C: TraceMetrics,
+    machine: DBSP,
+    *,
+    beta: float,
+    alpha: float | None = None,
+    tol: float = 1e-9,
+) -> TransferReport:
+    """Check ``D_A <= (1+alpha)/(alpha*beta) * D_C`` on ``machine``.
+
+    ``alpha`` defaults to the measured wiseness of A at ``p = machine.p``.
+    ``beta`` should come from :func:`measured_beta` (or a lower-bound
+    argument) over the sigma windows implied by the machine's
+    ``ell_i/g_i`` ratios.
+    """
+    p = machine.p
+    a = measured_alpha(metrics_A, p) if alpha is None else alpha
+    a = min(a, 1.0)
+    D_A = metrics_A.D_machine(machine)
+    D_C = metrics_C.D_machine(machine)
+    factor = (1.0 + a) / (a * beta)
+    ratio = D_A / D_C if D_C > 0 else (0.0 if D_A == 0 else np.inf)
+    return TransferReport(
+        p=p,
+        alpha=a,
+        beta=beta,
+        factor=factor,
+        D_A=D_A,
+        D_C=D_C,
+        ratio=ratio,
+        holds=bool(ratio <= factor + tol),
+    )

@@ -1,0 +1,106 @@
+"""Compact static DAG representation (CSR) with level scheduling.
+
+Static algorithms "naturally arise in DAG computations" (Section 3): for
+every input size there is one DAG whose sources are inputs and whose
+internal nodes are unit-time operations.  :class:`StaticDAG` stores the
+predecessor lists in CSR form (numpy arrays), computes the level (longest
+path from a source) of every node, and supports generic evaluation —
+the substrate for the FFT/diamond/stencil DAG experiments and for the
+generic superstep scheduler in :mod:`repro.dag.evaluate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["StaticDAG"]
+
+
+@dataclass
+class StaticDAG:
+    """A DAG over nodes ``0..num_nodes-1`` given by predecessor lists.
+
+    ``pred_indptr``/``pred_idx`` follow the CSR convention: the
+    predecessors of node ``u`` are
+    ``pred_idx[pred_indptr[u] : pred_indptr[u+1]]``, in operand order.
+    """
+
+    num_nodes: int
+    pred_indptr: np.ndarray
+    pred_idx: np.ndarray
+    name: str = "dag"
+    _levels: np.ndarray | None = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_pred_lists(cls, preds: list[list[int]], name: str = "dag") -> "StaticDAG":
+        indptr = np.zeros(len(preds) + 1, dtype=np.int64)
+        np.cumsum([len(p) for p in preds], out=indptr[1:])
+        idx = np.fromiter(
+            (q for p in preds for q in p), dtype=np.int64, count=int(indptr[-1])
+        )
+        return cls(len(preds), indptr, idx, name=name)
+
+    def preds(self, u: int) -> np.ndarray:
+        return self.pred_idx[self.pred_indptr[u] : self.pred_indptr[u + 1]]
+
+    @property
+    def num_arcs(self) -> int:
+        return int(self.pred_idx.shape[0])
+
+    @property
+    def sources(self) -> np.ndarray:
+        """Nodes with indegree 0 (the inputs)."""
+        deg = np.diff(self.pred_indptr)
+        return np.flatnonzero(deg == 0)
+
+    def levels(self) -> np.ndarray:
+        """Longest-path level of each node (sources at level 0).
+
+        Computed once by a vectorised relaxation over a topological order;
+        the DAG must be topologically numbered in the weak sense that it
+        is acyclic (we Kahn-sort internally, no numbering assumption).
+        """
+        if self._levels is not None:
+            return self._levels
+        n = self.num_nodes
+        indeg = np.diff(self.pred_indptr).astype(np.int64)
+        # Build successor CSR once for Kahn's algorithm.
+        order = np.argsort(self.pred_idx, kind="stable")
+        succ_idx = np.repeat(np.arange(n), indeg)[order]
+        succ_of = self.pred_idx[order]
+        succ_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(succ_indptr[1:], succ_of, 1)
+        np.cumsum(succ_indptr, out=succ_indptr)
+
+        level = np.zeros(n, dtype=np.int64)
+        frontier = list(np.flatnonzero(indeg == 0))
+        remaining = indeg.copy()
+        seen = 0
+        while frontier:
+            u = frontier.pop()
+            seen += 1
+            for t in range(succ_indptr[u], succ_indptr[u + 1]):
+                w = succ_idx[t]
+                if level[w] < level[u] + 1:
+                    level[w] = level[u] + 1
+                remaining[w] -= 1
+                if remaining[w] == 0:
+                    frontier.append(w)
+        if seen != n:
+            raise ValueError(f"graph has a cycle ({n - seen} nodes unreachable)")
+        self._levels = level
+        return level
+
+    def validate(self) -> None:
+        if self.pred_indptr.shape != (self.num_nodes + 1,):
+            raise ValueError("pred_indptr must have num_nodes+1 entries")
+        if self.pred_idx.size and (
+            self.pred_idx.min() < 0 or self.pred_idx.max() >= self.num_nodes
+        ):
+            raise ValueError("predecessor index out of range")
+        self.levels()  # raises on cycles
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StaticDAG({self.name}, nodes={self.num_nodes}, arcs={self.num_arcs})"

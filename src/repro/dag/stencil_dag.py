@@ -1,0 +1,99 @@
+"""(n, d)-stencil DAGs and direct evaluators (Section 4.4's problem).
+
+The (n, d)-stencil problem evaluates ``n^{d+1}`` nodes
+``<i_0, ..., i_d>``; node values at "time" ``i_d`` depend on the 3^d
+spatial neighbours at time ``i_d - 1``.  This module builds the DAG for
+small instances (d = 1, 2) and provides direct vectorised evaluators used
+as correctness oracles — the 1-D network-oblivious evaluation lives in
+:mod:`repro.algorithms.stencil1d`, the 2-D superstep schedule in
+:mod:`repro.algorithms.stencil2d` (trace-level, see the module docstring
+there for the documented substitution).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import StaticDAG
+
+__all__ = [
+    "build_stencil_dag_1d",
+    "build_stencil_dag_2d",
+    "evaluate_stencil_1d",
+    "evaluate_stencil_2d",
+    "mean_rule_2d",
+]
+
+
+def build_stencil_dag_1d(n: int) -> StaticDAG:
+    """The (n,1)-stencil DAG: ``n^2`` nodes, node id ``t*n + x``."""
+    preds: list[list[int]] = []
+    for t in range(n):
+        for x in range(n):
+            ps = []
+            if t > 0:
+                for d in (-1, 0, 1):
+                    if 0 <= x + d < n:
+                        ps.append((t - 1) * n + x + d)
+            preds.append(ps)
+    return StaticDAG.from_pred_lists(preds, name=f"stencil1d-{n}")
+
+
+def build_stencil_dag_2d(n: int) -> StaticDAG:
+    """The (n,2)-stencil DAG: ``n^3`` nodes, node id ``(t*n + y)*n + x``."""
+    preds: list[list[int]] = []
+    for t in range(n):
+        for y in range(n):
+            for x in range(n):
+                ps = []
+                if t > 0:
+                    for dy in (-1, 0, 1):
+                        for dx in (-1, 0, 1):
+                            xx, yy = x + dx, y + dy
+                            if 0 <= xx < n and 0 <= yy < n:
+                                ps.append(((t - 1) * n + yy) * n + xx)
+                preds.append(ps)
+    return StaticDAG.from_pred_lists(preds, name=f"stencil2d-{n}")
+
+
+def evaluate_stencil_1d(x0: np.ndarray, timesteps: int, rule=None, fill=0.0):
+    """Row-sweep oracle for the 1-D stencil (matches stencil1d.run)."""
+    n = x0.shape[0]
+    if rule is None:
+        rule = lambda l, c, r: (l + c + r) / 3.0
+    grid = np.empty((timesteps, n))
+    grid[0] = x0
+    for t in range(1, timesteps):
+        prev = grid[t - 1]
+        left = np.concatenate(([fill], prev[:-1]))
+        right = np.concatenate((prev[1:], [fill]))
+        grid[t] = rule(left, prev, right)
+    return grid
+
+
+def mean_rule_2d(window: np.ndarray) -> np.ndarray:
+    """Default 2-D update: mean of the 3x3 neighbourhood (axis 0 stacked)."""
+    return window.mean(axis=0)
+
+
+def evaluate_stencil_2d(x0: np.ndarray, timesteps: int, rule=mean_rule_2d, fill=0.0):
+    """Plane-sweep oracle for the 2-D stencil.
+
+    ``x0`` is the n x n initial plane; returns the (timesteps, n, n) value
+    cube.  The 3x3 neighbourhood is padded with ``fill`` at the borders.
+    """
+    n = x0.shape[0]
+    cube = np.empty((timesteps, n, n))
+    cube[0] = x0
+    for t in range(1, timesteps):
+        padded = np.full((n + 2, n + 2), fill)
+        padded[1:-1, 1:-1] = cube[t - 1]
+        stack = np.stack(
+            [
+                padded[1 + dy : 1 + dy + n, 1 + dx : 1 + dx + n]
+                for dy in (-1, 0, 1)
+                for dx in (-1, 0, 1)
+            ]
+        )
+        cube[t] = rule(stack)
+    return cube

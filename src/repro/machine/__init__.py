@@ -1,0 +1,28 @@
+"""The M(v) machine substrate: simulator, traces, folding, collectives."""
+
+from repro.machine.engine import ClusterViolation, Machine
+from repro.machine.folding import (
+    F_vector,
+    S_vector,
+    fold_degrees,
+    fold_message_counts,
+    fold_trace,
+)
+from repro.machine.store import LocalStore
+from repro.machine.trace import SuperstepRecord, Trace
+from repro.machine.trace_io import load_trace, save_trace
+
+__all__ = [
+    "Machine",
+    "ClusterViolation",
+    "LocalStore",
+    "Trace",
+    "SuperstepRecord",
+    "fold_degrees",
+    "fold_message_counts",
+    "fold_trace",
+    "F_vector",
+    "S_vector",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,182 @@
+"""The M(v) superstep machine simulator.
+
+``Machine`` simulates the parallel machine model M(v) of Section 2: ``v``
+processing elements (a power of two), each with a CPU and unbounded local
+memory, communicating in barrier-synchronised *supersteps*.  A superstep
+carries a label ``i`` in ``[0, log v)``; messages inside an i-superstep
+may travel only between PEs sharing the ``i`` most significant index bits
+(their *i-cluster*), and become visible in the recipient's inbox after the
+closing ``sync(i)``.
+
+Algorithms drive the machine from a global ("director") viewpoint: each
+call to :meth:`Machine.superstep` supplies the complete message set of one
+superstep.  This style is the natural encoding of the paper's *static*
+algorithms — the endpoints of every message are a function of the input
+size only — and lets one execution serve simultaneously as
+
+* a value-level simulation (payloads are delivered, outputs checkable), and
+* a metric-level record (the :class:`~repro.machine.trace.Trace`), from
+  which folding onto any ``M(p, sigma)`` or ``D-BSP(p, g, ell)`` with
+  ``p <= v`` is evaluated *post hoc*.
+
+Example
+-------
+>>> m = Machine(4)
+>>> m.scatter("x", {0: 10, 1: 11, 2: 12, 3: 13})
+>>> m.superstep(0, [(r, (r + 1) % 4, ("x", m.mem[r].data["x"])) for r in range(4)])
+>>> sorted(v for _, v in m.mem[0].peek())
+[13]
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.machine.store import LocalStore
+from repro.machine.trace import Trace
+from repro.util.intmath import ilog2
+
+__all__ = ["Machine", "ClusterViolation"]
+
+
+class ClusterViolation(ValueError):
+    """A message attempted to leave its i-cluster in an i-superstep."""
+
+
+class Machine:
+    """Simulator for the parallel machine model ``M(v)`` (Section 2).
+
+    Parameters
+    ----------
+    v:
+        Number of processing elements; must be a power of two.
+    deliver:
+        When ``True`` (default) message payloads are appended to recipient
+        inboxes.  Structural runs (metric-only algorithms, e.g. the
+        (n,2)-stencil schedule generator) can disable delivery to save
+        memory; the trace is recorded either way.
+    check:
+        When ``True`` (default) every superstep's messages are validated
+        against the i-cluster constraint; disable only in tight inner
+        loops after the pattern has been property-tested.
+    """
+
+    def __init__(self, v: int, *, deliver: bool = True, check: bool = True) -> None:
+        self.v = v
+        self.logv = ilog2(v)
+        self.deliver = deliver
+        self.check = check
+        self.mem: list[LocalStore] = [LocalStore(r) for r in range(v)]
+        self.trace = Trace(v)
+
+    # ------------------------------------------------------------------
+    # Core primitive
+    # ------------------------------------------------------------------
+    def superstep(
+        self,
+        label: int,
+        sends: Iterable[tuple[int, int, Any]] | Sequence[tuple[int, int, Any]],
+        *,
+        src_arr: np.ndarray | None = None,
+        dst_arr: np.ndarray | None = None,
+    ) -> None:
+        """Execute one ``label``-superstep carrying the given messages.
+
+        ``sends`` is an iterable of ``(src, dst, payload)`` triples; the
+        closing ``sync(label)`` delivers each payload to ``mem[dst].inbox``.
+        Local computation is whatever Python the caller runs between
+        supersteps — the model's cost metrics only concern communication.
+
+        For bulk structural supersteps, callers may instead pass the
+        pre-built ``src_arr``/``dst_arr`` endpoint arrays (payloads are
+        then not delivered).
+        """
+        if src_arr is not None or dst_arr is not None:
+            if src_arr is None or dst_arr is None:
+                raise ValueError("src_arr and dst_arr must be given together")
+            src = np.ascontiguousarray(src_arr, dtype=np.int64)
+            dst = np.ascontiguousarray(dst_arr, dtype=np.int64)
+            payloads: list[Any] | None = None
+        else:
+            triples = list(sends)
+            src = np.fromiter(
+                (t[0] for t in triples), dtype=np.int64, count=len(triples)
+            )
+            dst = np.fromiter(
+                (t[1] for t in triples), dtype=np.int64, count=len(triples)
+            )
+            payloads = [t[2] for t in triples]
+
+        self._validate(label, src, dst)
+        self.trace.append(label, src, dst)
+
+        if self.deliver and payloads is not None:
+            mem = self.mem
+            for d, t in zip(dst.tolist(), payloads):
+                mem[d].inbox.append(t)
+
+    def _validate(self, label: int, src: np.ndarray, dst: np.ndarray) -> None:
+        if not (0 <= label < max(1, self.logv)):
+            raise ValueError(
+                f"superstep label {label} outside [0, {max(1, self.logv)}) "
+                f"for v={self.v}"
+            )
+        if not self.check or src.size == 0:
+            return
+        if (
+            src.min() < 0
+            or dst.min() < 0
+            or src.max() >= self.v
+            or dst.max() >= self.v
+        ):
+            raise ValueError(f"message endpoint outside [0, {self.v})")
+        if label > 0:
+            shift = self.logv - label
+            bad = (src >> shift) != (dst >> shift)
+            if bad.any():
+                t = int(np.argmax(bad))
+                raise ClusterViolation(
+                    f"{label}-superstep message {int(src[t])}->{int(dst[t])} "
+                    f"crosses its {label}-cluster boundary"
+                )
+
+    # ------------------------------------------------------------------
+    # Convenience state manipulation (local, cost-free operations)
+    # ------------------------------------------------------------------
+    def scatter(self, key: Any, values: Mapping[int, Any]) -> None:
+        """Install ``values[r]`` under ``key`` in VP ``r``'s local store.
+
+        This models the *initial input distribution* (which the paper's
+        algorithm classes constrain but do not charge for) — it is not a
+        communication superstep.
+        """
+        for r, val in values.items():
+            self.mem[r].data[key] = val
+
+    def scatter_array(self, key: Any, values: Sequence[Any]) -> None:
+        """Install ``values[r]`` at VP ``r`` for every rank."""
+        if len(values) != self.v:
+            raise ValueError(f"need exactly v={self.v} values, got {len(values)}")
+        for r in range(self.v):
+            self.mem[r].data[key] = values[r]
+
+    def gather_array(self, key: Any) -> list[Any]:
+        """Collect ``mem[r].data[key]`` for every rank (output readback)."""
+        return [self.mem[r].data.get(key) for r in range(self.v)]
+
+    def drain_inboxes(self) -> None:
+        for st in self.mem:
+            st.inbox.clear()
+
+    # ------------------------------------------------------------------
+    # Cluster helpers
+    # ------------------------------------------------------------------
+    def cluster_of(self, rank: int, i: int) -> tuple[int, int]:
+        """Return ``(start, size)`` of the i-cluster containing ``rank``."""
+        size = self.v >> i
+        return (rank // size) * size, size
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Machine(v={self.v}, supersteps={self.trace.num_supersteps})"

@@ -1,0 +1,115 @@
+"""Folding: executing an M(v) algorithm on a smaller machine M(2^j).
+
+Folding (Section 2) maps the ``v/p`` consecutively numbered VPs starting
+at ``r * (v/p)`` onto processor ``r`` of ``M(p)``.  Under the fold:
+
+* messages between VPs of the same processor become local memory traffic
+  and stop counting toward communication;
+* an i-superstep with ``i < log p`` remains an i-superstep of ``M(p)``;
+* an i-superstep with ``i >= log p`` collapses into local computation
+  (no communication, no synchronisation cost).
+
+This module computes the folded quantities ``h_s(n,p)``, ``F^i(n,p)`` and
+``S^i(n)`` from a recorded :class:`~repro.machine.trace.Trace`, and can
+materialise the folded trace itself (used by the ascend–descend protocol
+of Section 5 and by the network-routing validation experiments).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine.trace import Trace
+from repro.util.intmath import ilog2
+
+__all__ = [
+    "fold_degrees",
+    "F_vector",
+    "S_vector",
+    "fold_trace",
+    "fold_message_counts",
+]
+
+
+def _check_fold(v: int, p: int) -> None:
+    ilog2(p)
+    if p > v:
+        raise ValueError(f"cannot fold M({v}) onto a larger machine M({p})")
+
+
+def fold_degrees(trace: Trace, p: int) -> np.ndarray:
+    """Per-superstep degrees ``h_s(n, p)`` of the trace folded onto ``p``.
+
+    Supersteps whose label is ``>= log p`` fold into local computation and
+    are reported with degree 0 (they carry no cross-processor messages by
+    the cluster constraint, so this is also what the arithmetic gives).
+    """
+    _check_fold(trace.v, p)
+    return np.array([rec.degree(trace.v, p) for rec in trace.records], dtype=np.int64)
+
+
+def fold_message_counts(trace: Trace, p: int) -> np.ndarray:
+    """Total cross-processor messages per superstep under folding to ``p``."""
+    _check_fold(trace.v, p)
+    return np.array(
+        [rec.message_count(trace.v, p) for rec in trace.records], dtype=np.int64
+    )
+
+
+def F_vector(trace: Trace, p: int) -> np.ndarray:
+    """Cumulative degrees ``F^i(n, p)`` for ``0 <= i < log p`` (length log p).
+
+    ``F^i(n,p) = sum over i-supersteps s of h_s(n,p)`` — Section 2.  For
+    ``p = 1`` the vector is empty (a one-processor machine communicates
+    nothing).
+    """
+    _check_fold(trace.v, p)
+    logp = ilog2(p)
+    out = np.zeros(logp, dtype=np.int64)
+    if logp == 0:
+        return out
+    for rec in trace.records:
+        if rec.label < logp:
+            out[rec.label] += rec.degree(trace.v, p)
+    return out
+
+
+def S_vector(trace: Trace, p: int) -> np.ndarray:
+    """Superstep counts ``S^i(n)`` for ``0 <= i < log p`` (length log p).
+
+    Only labels below ``log p`` survive the fold; coarser supersteps become
+    local computation on ``M(p)`` and pay no latency.
+    """
+    _check_fold(trace.v, p)
+    logp = ilog2(p)
+    out = np.zeros(logp, dtype=np.int64)
+    if logp == 0:
+        return out
+    for rec in trace.records:
+        if rec.label < logp:
+            out[rec.label] += 1
+    return out
+
+
+def fold_trace(trace: Trace, p: int, *, keep_empty: bool = True) -> Trace:
+    """Materialise the folded trace on ``M(p)``.
+
+    Message endpoints are divided by the block size ``v/p``; messages that
+    became processor-local are dropped.  Supersteps with labels
+    ``>= log p`` vanish (local computation).  With ``keep_empty`` (the
+    default) surviving supersteps that lost all their messages are kept —
+    they still cost a synchronisation on the folded machine.
+    """
+    _check_fold(trace.v, p)
+    logp = ilog2(p)
+    block = trace.v // p
+    folded = Trace(p)
+    for rec in trace.records:
+        if rec.label >= logp:
+            continue
+        sp = rec.src // block
+        dp = rec.dst // block
+        cross = sp != dp
+        if cross.any() or keep_empty:
+            folded.append(rec.label, sp[cross], dp[cross])
+    return folded

@@ -1,0 +1,55 @@
+"""Per-processing-element local memories.
+
+Each PE of ``M(v)`` owns an unbounded local memory (Section 2).  The
+simulator models it as a small mapping plus an inbox of messages delivered
+at the last barrier.  Algorithms in this repository are written from a
+global (director) viewpoint, so the store is intentionally plain — a dict
+per VP — rather than an actor abstraction; this matches the "static
+algorithm" discipline where the communication pattern never depends on
+values.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["LocalStore"]
+
+
+class LocalStore:
+    """Local memory of one processing element.
+
+    ``data`` is the named key/value store used by algorithms; ``inbox``
+    holds messages received at the most recent ``sync`` and is consumed
+    via :meth:`receive` (mirroring the paper's ``receive()`` primitive,
+    which returns and removes an arbitrary received message).
+    """
+
+    __slots__ = ("rank", "data", "inbox")
+
+    def __init__(self, rank: int) -> None:
+        self.rank = rank
+        self.data: dict[Any, Any] = {}
+        self.inbox: list[Any] = []
+
+    def receive(self) -> Any:
+        """Pop one message received at the preceding barrier.
+
+        Returns ``None`` when the inbox is empty, like the paper's
+        ``receive()`` returning no element from the received set.
+        """
+        if self.inbox:
+            return self.inbox.pop()
+        return None
+
+    def receive_all(self) -> list[Any]:
+        """Drain and return the whole inbox (delivery order)."""
+        out, self.inbox = self.inbox, []
+        return out
+
+    def peek(self) -> list[Any]:
+        """Non-destructive view of the inbox."""
+        return list(self.inbox)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalStore(rank={self.rank}, keys={list(self.data)!r}, inbox={len(self.inbox)})"

@@ -1,0 +1,170 @@
+"""Superstep traces: the static communication record of an M(v) run.
+
+A *static* algorithm (Section 3 of the paper) has, for every input size
+``n``, a fixed number of supersteps, a fixed sequence of superstep labels
+and a fixed set of message source/destination pairs per superstep.  A
+:class:`Trace` captures exactly that data — one ``(label, src[], dst[])``
+record per superstep — and is the single source of truth from which every
+quantity in the paper is computed:
+
+* per-superstep degrees ``h_s(n, p)`` under folding to ``p`` processors,
+* cumulative degrees ``F^i_A(n, p)`` and superstep counts ``S^i_A(n)``,
+* communication complexity ``H_A(n, p, sigma)``  (Eq. 1),
+* communication time ``D_A(n, p, g, ell)``      (Eq. 2),
+* (alpha, p)-wiseness (Def. 3.2) and (gamma, p)-fullness (Def. 5.2).
+
+Traces deliberately do not store payloads: the paper's metrics are
+payload-independent, and dropping values keeps traces compact enough to
+analyse runs with millions of messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.intmath import ilog2
+
+__all__ = ["SuperstepRecord", "Trace"]
+
+
+@dataclass(frozen=True)
+class SuperstepRecord:
+    """One superstep: its label and the message endpoints it carried.
+
+    ``src``/``dst`` are parallel ``int64`` arrays — entry ``t`` records a
+    constant-size message from VP ``src[t]`` to VP ``dst[t]``.  Multiple
+    messages between the same pair appear multiple times, matching the
+    paper's message-count semantics.
+    """
+
+    label: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    @property
+    def num_messages(self) -> int:
+        return int(self.src.shape[0])
+
+    def degree(self, v: int, p: int) -> int:
+        """Degree ``h_s(n, p)`` of this superstep folded onto ``p`` processors.
+
+        Under folding, processor ``r`` of ``M(p)`` carries VPs
+        ``[r*(v/p), (r+1)*(v/p))``; only messages crossing a processor
+        boundary are communicated.  The degree is the maximum over
+        processors of messages sent *or* received (the h of the
+        h-relation, Section 2).
+        """
+        block = v // p
+        if block == 0:
+            raise ValueError(f"cannot fold v={v} onto p={p} > v")
+        sp = self.src // block
+        dp = self.dst // block
+        cross = sp != dp
+        if not cross.any():
+            return 0
+        sent = np.bincount(sp[cross], minlength=p)
+        recv = np.bincount(dp[cross], minlength=p)
+        return int(max(sent.max(), recv.max()))
+
+    def message_count(self, v: int, p: int) -> int:
+        """Total number of cross-processor messages under folding to ``p``."""
+        block = v // p
+        return int(np.count_nonzero(self.src // block != self.dst // block))
+
+
+@dataclass
+class Trace:
+    """The full superstep trace of one M(v) execution.
+
+    Attributes
+    ----------
+    v:
+        Number of processing elements of the machine the trace was
+        recorded on (a power of two).
+    records:
+        Superstep records in execution order.
+    """
+
+    v: int
+    records: list[SuperstepRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        ilog2(self.v)  # validates power of two
+
+    # ------------------------------------------------------------------
+    # Basic shape quantities
+    # ------------------------------------------------------------------
+    @property
+    def num_supersteps(self) -> int:
+        return len(self.records)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return np.array([r.label for r in self.records], dtype=np.int64)
+
+    @property
+    def total_messages(self) -> int:
+        return int(sum(r.num_messages for r in self.records))
+
+    def label_counts(self) -> dict[int, int]:
+        """``S^i(n)`` as a dict label -> number of supersteps."""
+        out: dict[int, int] = {}
+        for r in self.records:
+            out[r.label] = out.get(r.label, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def append(self, label: int, src: np.ndarray, dst: np.ndarray) -> None:
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        if src.shape != dst.shape or src.ndim != 1:
+            raise ValueError("src and dst must be 1-D arrays of equal length")
+        self.records.append(SuperstepRecord(int(label), src, dst))
+
+    def extend(self, other: "Trace") -> None:
+        if other.v != self.v:
+            raise ValueError(f"cannot merge traces on v={self.v} and v={other.v}")
+        self.records.extend(other.records)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check every message obeys the i-superstep cluster constraint.
+
+        In an i-superstep a VP may message only VPs agreeing in the ``i``
+        most significant index bits (Section 2).  Vectorised check; raises
+        :class:`ValueError` on the first violating superstep.
+        """
+        logv = ilog2(self.v)
+        for t, rec in enumerate(self.records):
+            if not (0 <= rec.label < max(1, logv)):
+                raise ValueError(
+                    f"superstep {t}: label {rec.label} outside [0, {max(1, logv)})"
+                )
+            if rec.label > 0 and rec.num_messages:
+                shift = logv - rec.label
+                if np.any((rec.src >> shift) != (rec.dst >> shift)):
+                    bad = int(np.argmax((rec.src >> shift) != (rec.dst >> shift)))
+                    raise ValueError(
+                        f"superstep {t} (label {rec.label}): message "
+                        f"{int(rec.src[bad])}->{int(rec.dst[bad])} leaves its "
+                        f"{rec.label}-cluster"
+                    )
+            if rec.num_messages and (
+                rec.src.min() < 0
+                or rec.dst.min() < 0
+                or rec.src.max() >= self.v
+                or rec.dst.max() >= self.v
+            ):
+                raise ValueError(f"superstep {t}: endpoint outside [0, {self.v})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(v={self.v}, supersteps={self.num_supersteps}, "
+            f"messages={self.total_messages})"
+        )

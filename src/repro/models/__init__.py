@@ -1,0 +1,25 @@
+"""Cost models: the evaluation model M(p, sigma) and execution model D-BSP."""
+
+from repro.models.dbsp import DBSP, communication_time
+from repro.models.evaluation import EvaluationModel, communication_complexity
+from repro.models.presets import (
+    PRESETS,
+    fat_tree_dbsp,
+    flat_bsp,
+    geometric_dbsp,
+    hypercube_dbsp,
+    mesh_dbsp,
+)
+
+__all__ = [
+    "DBSP",
+    "EvaluationModel",
+    "communication_complexity",
+    "communication_time",
+    "PRESETS",
+    "mesh_dbsp",
+    "hypercube_dbsp",
+    "fat_tree_dbsp",
+    "flat_bsp",
+    "geometric_dbsp",
+]

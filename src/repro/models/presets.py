@@ -1,0 +1,118 @@
+"""D-BSP parameter presets for common point-to-point interconnects.
+
+Bilardi, Pietracaprina and Pucci ('99, '07a) show D-BSP captures a large
+class of networks by choosing ``g_i``/``ell_i`` to match the bandwidth and
+latency of the subnetworks corresponding to i-clusters.  The presets below
+use the standard asymptotic forms (unit constants):
+
+* d-dimensional mesh/torus of m processors: bisection ~ m^{(d-1)/d}, so an
+  m-processor subnet has ``g ~ m^{1/d}`` and diameter ``ell ~ m^{1/d}``.
+* hypercube: constant per-message cost, logarithmic latency.
+* fat-tree (area-universal, Leiserson '85): ``g ~ m^{1/2}`` like a 2-d
+  mesh in area terms, latency logarithmic.
+* flat BSP: one global g and latency, i.e. a machine that cannot exploit
+  submachine locality — the degenerate case the evaluation model M(p, σ)
+  corresponds to (g = 1, ell_i = σ).
+
+Every preset satisfies Theorem 3.4's monotonicity requirements
+(non-increasing ``g_i`` and ``ell_i/g_i``), which `DBSP.validate`
+re-checks on construction.
+"""
+
+from __future__ import annotations
+
+from repro.models.dbsp import DBSP
+from repro.util.intmath import ilog2
+
+__all__ = [
+    "mesh_dbsp",
+    "hypercube_dbsp",
+    "fat_tree_dbsp",
+    "flat_bsp",
+    "geometric_dbsp",
+    "PRESETS",
+]
+
+
+def mesh_dbsp(p: int, d: int = 2, g_scale: float = 1.0, ell_scale: float = 1.0) -> DBSP:
+    """D-BSP parameters of a d-dimensional mesh of ``p`` processors.
+
+    An i-cluster holds ``m = p / 2^i`` processors arranged (recursively)
+    as a sub-mesh: ``g_i = g_scale * m^{1/d}``, ``ell_i = ell_scale * m^{1/d}``.
+    """
+    if d < 1:
+        raise ValueError(f"mesh dimension must be >= 1, got {d}")
+    logp = ilog2(p)
+    sizes = [p >> i for i in range(logp)]
+    g = [g_scale * m ** (1.0 / d) for m in sizes]
+    ell = [ell_scale * m ** (1.0 / d) for m in sizes]
+    return DBSP(p, g, ell)
+
+
+def hypercube_dbsp(p: int, g0: float = 1.0, ell_scale: float = 1.0) -> DBSP:
+    """D-BSP parameters of a ``log p``-dimensional hypercube.
+
+    Constant inverse bandwidth (hypercubes route h-relations in O(h) with
+    constant g under mild conditions) and latency proportional to the
+    subcube dimension: ``ell_i = ell_scale * log(p/2^i)``.
+    """
+    logp = ilog2(p)
+    g = [g0] * logp
+    ell = [ell_scale * max(1, logp - i) for i in range(logp)]
+    return DBSP(p, g, ell)
+
+
+def fat_tree_dbsp(p: int, g_scale: float = 1.0, ell_scale: float = 1.0) -> DBSP:
+    """D-BSP parameters of an area-universal fat-tree (Leiserson '85).
+
+    Root capacity ~ sqrt(area): ``g_i = g_scale * (p/2^i)^{1/2}``; latency
+    proportional to tree height ``ell_i = ell_scale * log(p/2^i) *
+    (p/2^i)^{...0}`` — we use the conventional log-depth latency, scaled so
+    that ``ell_i/g_i`` stays non-increasing.
+    """
+    logp = ilog2(p)
+    sizes = [p >> i for i in range(logp)]
+    g = [g_scale * m**0.5 for m in sizes]
+    # ell proportional to g * log(m) keeps ell_i/g_i = log(m) non-increasing.
+    ell = [ell_scale * g_scale * m**0.5 * max(1, ilog2(m)) for m in sizes]
+    return DBSP(p, g, ell)
+
+
+def flat_bsp(p: int, g: float = 1.0, sigma: float = 0.0) -> DBSP:
+    """A flat BSP(p, g, sigma) written as a (degenerate) D-BSP.
+
+    With ``g = 1`` this machine's ``D`` equals the evaluation model's
+    ``H(n, p, sigma)`` — handy for consistency tests.
+    """
+    logp = ilog2(p)
+    return DBSP(p, [g] * logp, [sigma] * logp)
+
+
+def geometric_dbsp(p: int, g0: float, g_ratio: float, ell0: float, ell_ratio: float) -> DBSP:
+    """Geometric parameter sequences ``g_i = g0 * g_ratio^i`` etc.
+
+    Geometric ``g``/``ell`` decay is the regime where Section 5's remark
+    tightens Theorem 5.3's factor from ``log^2 p`` to ``log p`` (prefix
+    computations cost ``O(g_k + ell_k)`` there).  Ratios must lie in
+    ``(0, 1]`` and satisfy ``ell_ratio <= g_ratio`` so that ``ell_i/g_i``
+    is non-increasing.
+    """
+    if not (0 < g_ratio <= 1 and 0 < ell_ratio <= 1):
+        raise ValueError("ratios must lie in (0, 1]")
+    if ell_ratio > g_ratio + 1e-12:
+        raise ValueError("need ell_ratio <= g_ratio for admissibility")
+    logp = ilog2(p)
+    g = [g0 * g_ratio**i for i in range(logp)]
+    ell = [ell0 * ell_ratio**i for i in range(logp)]
+    return DBSP(p, g, ell)
+
+
+#: Named preset constructors used by experiment sweeps.
+PRESETS = {
+    "mesh1d": lambda p: mesh_dbsp(p, d=1),
+    "mesh2d": lambda p: mesh_dbsp(p, d=2),
+    "mesh3d": lambda p: mesh_dbsp(p, d=3),
+    "hypercube": hypercube_dbsp,
+    "fat-tree": fat_tree_dbsp,
+    "flat-bsp": flat_bsp,
+}

@@ -1,0 +1,25 @@
+"""Point-to-point network substrate: topologies, routing, D-BSP fitting."""
+
+from repro.networks.dbsp_fit import fit
+from repro.networks.routing import RoutedCost, superstep_time
+from repro.networks.simulate import (
+    NetworkComparison,
+    compare_with_dbsp,
+    routed_time,
+)
+from repro.networks.topology import FatTree, Hypercube, Mesh2D, Ring, Topology, by_name
+
+__all__ = [
+    "Topology",
+    "Ring",
+    "Mesh2D",
+    "Hypercube",
+    "FatTree",
+    "by_name",
+    "fit",
+    "superstep_time",
+    "RoutedCost",
+    "routed_time",
+    "compare_with_dbsp",
+    "NetworkComparison",
+]

@@ -1,0 +1,43 @@
+"""Deriving D-BSP parameters from a concrete network (Bilardi et al. '99).
+
+The D-BSP thesis: a point-to-point network is well described by per-level
+bandwidth and latency parameters of its recursive decomposition.  For an
+i-cluster's subnetwork we take::
+
+    g_i   =  (cluster size) / (bisection capacity of the cluster)
+    ell_i =  (cluster diameter) + 1
+
+— a ``p/2^i``-processor balanced h-relation must push ``~h * p/2^{i+1}``
+messages across the cluster bisection (time ``h * g_i``), and any message
+pays the diameter.  :func:`fit` returns a validated
+:class:`~repro.models.dbsp.DBSP`; monotonicity of ``g_i`` and
+``ell_i/g_i`` holds for all shipped topologies (checked in the tests).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.dbsp import DBSP
+from repro.networks.topology import Topology
+from repro.util.intmath import ilog2
+
+__all__ = ["fit"]
+
+
+def fit(topo: Topology) -> DBSP:
+    """Fit ``D-BSP(p, g, ell)`` parameters to a topology."""
+    p = topo.p
+    logp = ilog2(p)
+    g, ell = [], []
+    for i in range(logp):
+        m = p >> i
+        g.append(max(1.0, m / (2.0 * topo.bisection_of_cluster(i))))
+        ell.append(topo.diameter_of_cluster(i) + 1.0)
+    # Numerical guard: enforce the monotonicity Theorem 3.4 assumes (the
+    # analytic values already satisfy it; rounding can introduce epsilons).
+    g = np.maximum.accumulate(np.array(g)[::-1])[::-1]
+    ratio = np.array(ell) / g
+    ratio = np.maximum.accumulate(ratio[::-1])[::-1]
+    ell = ratio * g
+    return DBSP(p, list(g), list(ell))

@@ -1,0 +1,44 @@
+"""Timing h-relations on explicit networks: congestion + dilation.
+
+For a superstep's message set routed along fixed paths, any schedule
+needs at least ``max(congestion, dilation)`` steps and O(congestion +
+dilation) suffices (store-and-forward with random ranks — Leighton,
+Maggs & Rao).  We charge::
+
+    time(superstep) = max_e load(e)/capacity(e)  +  max path length  +  1
+
+which is the standard proxy the D-BSP parameters compress into
+``h * g_i + ell_i``: congestion tracks ``h * g_i`` (bandwidth), dilation
+tracks ``ell_i`` (latency), the +1 the barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.networks.topology import Topology
+
+__all__ = ["superstep_time", "RoutedCost"]
+
+
+@dataclass(frozen=True)
+class RoutedCost:
+    congestion: float
+    dilation: int
+    time: float
+
+
+def superstep_time(topo: Topology, src: np.ndarray, dst: np.ndarray) -> RoutedCost:
+    """Routed time of one superstep's messages on ``topo``."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    if src.size == 0:
+        return RoutedCost(0.0, 0, 1.0)
+    loads, dil = topo.route_loads(src, dst)
+    caps = topo.edge_capacities()
+    congestion = float((loads / caps).max())
+    return RoutedCost(congestion, dil, congestion + dil + 1.0)

@@ -1,0 +1,58 @@
+"""Running folded traces on explicit networks: the D-BSP reality check.
+
+The execution-model validation experiment (E11): take a network-oblivious
+trace, fold it onto ``p`` processors, route every superstep on a concrete
+topology (congestion + dilation timing), and compare the total against
+the ``D(n, p, g, ell)`` predicted by the D-BSP parameters fitted to that
+same topology.  A ratio that stays within a modest constant across
+algorithms and machine sizes is the empirical content of "D-BSP describes
+point-to-point networks reasonably well" (Bilardi et al. '99), which the
+paper leans on to motivate its execution model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metrics import TraceMetrics
+from repro.machine.folding import fold_trace
+from repro.machine.trace import Trace
+from repro.networks.dbsp_fit import fit
+from repro.networks.routing import superstep_time
+from repro.networks.topology import Topology
+
+__all__ = ["routed_time", "compare_with_dbsp", "NetworkComparison"]
+
+
+def routed_time(trace: Trace, topo: Topology) -> float:
+    """Total routed time of ``trace`` folded onto the topology's p."""
+    folded = fold_trace(trace, topo.p, keep_empty=True)
+    return float(
+        sum(superstep_time(topo, rec.src, rec.dst).time for rec in folded.records)
+    )
+
+
+@dataclass(frozen=True)
+class NetworkComparison:
+    topology: str
+    p: int
+    routed: float
+    dbsp_predicted: float
+
+    @property
+    def ratio(self) -> float:
+        return self.routed / self.dbsp_predicted if self.dbsp_predicted else float("inf")
+
+
+def compare_with_dbsp(trace: Trace, topo: Topology) -> NetworkComparison:
+    """Routed total vs. the fitted-D-BSP prediction for one trace."""
+    machine = fit(topo)
+    predicted = TraceMetrics(trace).D_machine(machine)
+    return NetworkComparison(
+        topology=topo.name,
+        p=topo.p,
+        routed=routed_time(trace, topo),
+        dbsp_predicted=predicted,
+    )

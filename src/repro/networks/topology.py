@@ -1,0 +1,253 @@
+"""Point-to-point network topologies — what D-BSP abstracts (Bilardi et al. '99).
+
+Each topology maps the ``p`` processors of an M(p) trace onto network
+nodes such that the model's *i-clusters* (processors sharing ``i``
+leading index bits) correspond to good subnetworks:
+
+* :class:`Ring` — processor ``r`` at ring position ``r``; i-clusters are
+  contiguous arcs.
+* :class:`Mesh2D` — processors indexed in Morton (Z) order, so every
+  i-cluster is an axis-aligned sub-rectangle (square every other level).
+* :class:`Hypercube` — processor index = node coordinates; i-clusters
+  are subcubes.
+* :class:`FatTree` — a complete binary tree over the processors (at the
+  leaves) whose level-d edges carry capacity ``~sqrt(leaves below)``
+  (area-universal sizing, Leiserson '85).
+
+Every topology exposes its edge list with capacities and a vectorised
+``route`` producing, for a batch of (src, dst) pairs, the per-edge loads —
+consumed by :mod:`repro.networks.routing` to time h-relations by the
+classic congestion + dilation bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.intmath import ilog2
+from repro.util.morton import morton_decode
+
+__all__ = ["Topology", "Ring", "Mesh2D", "Hypercube", "FatTree", "by_name"]
+
+
+@dataclass
+class Topology:
+    """Base: a network with ``p`` processor slots and capacitated edges."""
+
+    p: int
+    name: str = field(default="topology", init=False)
+
+    def __post_init__(self) -> None:
+        ilog2(self.p)
+
+    # Subclasses implement: edge enumeration and path load accounting.
+    def num_edges(self) -> int:
+        raise NotImplementedError
+
+    def edge_capacities(self) -> np.ndarray:
+        return np.ones(self.num_edges())
+
+    def route_loads(self, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, int]:
+        """Per-edge loads and the maximum path length (dilation)."""
+        raise NotImplementedError
+
+    def diameter_of_cluster(self, i: int) -> float:
+        """Graph diameter of an i-cluster's subnetwork."""
+        raise NotImplementedError
+
+    def bisection_of_cluster(self, i: int) -> float:
+        """Capacity crossing the (i+1)-level split of an i-cluster."""
+        raise NotImplementedError
+
+
+class Ring(Topology):
+    """Bidirectional ring; messages take the shorter direction."""
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self.name = "ring"
+
+    def num_edges(self) -> int:
+        return self.p  # edge e connects e -> (e+1) mod p
+
+    def route_loads(self, src, dst):
+        loads = np.zeros(self.p)
+        if src.size == 0:
+            return loads, 0
+        fwd = (dst - src) % self.p
+        bwd = (src - dst) % self.p
+        dil = 0
+        for s, f, b in zip(src, fwd, bwd):
+            if f == 0:
+                continue
+            if f <= b:
+                idx = (s + np.arange(f)) % self.p
+                dil = max(dil, int(f))
+            else:
+                idx = (s - 1 - np.arange(b)) % self.p
+                dil = max(dil, int(b))
+            np.add.at(loads, idx, 1.0)
+        return loads, dil
+
+    def diameter_of_cluster(self, i: int) -> float:
+        # An i-cluster is a path of p/2^i nodes (ring edges out of the
+        # cluster are unusable without leaving it).
+        return max(1, (self.p >> i) - 1)
+
+    def bisection_of_cluster(self, i: int) -> float:
+        return 1.0  # a path splits across one edge
+
+
+class Mesh2D(Topology):
+    """sqrt(p) x sqrt(p) mesh with Morton processor indexing."""
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self.name = "mesh2d"
+        self.side = 1 << (ilog2(p) // 2)
+        self.side_y = self.p // self.side
+        # Coordinates of each processor (Morton order).
+        r, c = morton_decode(np.arange(p), max(self.side, self.side_y))
+        self.row, self.col = r, c
+
+    def num_edges(self) -> int:
+        sx = max(self.side, self.side_y)
+        return 2 * sx * sx
+
+    def route_loads(self, src, dst):
+        # Dimension-order (column first, then row) routing on the grid.
+        loads = np.zeros(self.num_edges())
+        if src.size == 0:
+            return loads, 0
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        dil = int(np.max(np.abs(r1 - r2) + np.abs(c1 - c2), initial=0))
+        sx = max(self.side, self.side_y)
+        # Horizontal edge (r, c)-(r, c+1) has id r*sx + c; vertical edge
+        # (r, c)-(r+1, c) has id sx*sx + c*sx + r.
+        off = sx * sx
+        for a1, b1, a2, b2 in zip(r1, c1, r2, c2):
+            lo, hi = (b1, b2) if b1 <= b2 else (b2, b1)
+            if hi > lo:
+                np.add.at(loads, a1 * sx + np.arange(lo, hi), 1.0)
+            lo, hi = (a1, a2) if a1 <= a2 else (a2, a1)
+            if hi > lo:
+                np.add.at(loads, off + b2 * sx + np.arange(lo, hi), 1.0)
+        return loads, dil
+
+    def diameter_of_cluster(self, i: int) -> float:
+        m = self.p >> i
+        # Morton i-clusters are w x h rectangles with w*h = m, w/h in {1,2}.
+        w = 1 << ((ilog2(m) + 1) // 2)
+        h = m // w
+        return max(1, (w - 1) + (h - 1))
+
+    def bisection_of_cluster(self, i: int) -> float:
+        m = self.p >> i
+        w = 1 << ((ilog2(m) + 1) // 2)
+        return max(1.0, m / w)  # cut across the longer side
+
+
+class Hypercube(Topology):
+    """log p - dimensional hypercube, dimension-order routing."""
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self.name = "hypercube"
+        self.dims = ilog2(p)
+
+    def num_edges(self) -> int:
+        return self.p * self.dims  # edge id: node * dims + dimension
+
+    def route_loads(self, src, dst):
+        loads = np.zeros(self.num_edges())
+        if src.size == 0:
+            return loads, 0
+        diff = src ^ dst
+        dil = int(np.max(np.bitwise_count(diff.astype(np.uint64)), initial=0))
+        cur = src.copy()
+        for d in range(self.dims):
+            flip = (diff >> d) & 1 == 1
+            if flip.any():
+                np.add.at(loads, cur[flip] * self.dims + d, 1.0)
+                cur = cur ^ (flip.astype(np.int64) << d)
+        return loads, dil
+
+    def diameter_of_cluster(self, i: int) -> float:
+        return max(1, ilog2(self.p >> i))
+
+    def bisection_of_cluster(self, i: int) -> float:
+        return (self.p >> i) / 2.0
+
+
+class FatTree(Topology):
+    """Complete binary fat-tree over the processors (leaves).
+
+    The two edges below a height-``d`` internal node each carry capacity
+    ``ceil(2^{d-1} / sqrt(2^{d-1}}) ~ sqrt(leaves)`` (area-universal
+    sizing).  Routing is the unique tree path.
+    """
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self.name = "fat-tree"
+        self.height = ilog2(p)
+
+    def num_edges(self) -> int:
+        return 2 * self.p - 2  # edges of a complete binary tree, by child
+
+    def _cap(self, child_subtree: int) -> float:
+        return max(1.0, child_subtree**0.5)
+
+    def edge_capacities(self) -> np.ndarray:
+        caps = np.ones(self.num_edges())
+        # Edge id = internal child node id - 1 in heap numbering over
+        # 2p-1 nodes; child at heap depth d roots 2^{height-d} leaves.
+        for node in range(1, 2 * self.p - 1):
+            depth = (node + 1).bit_length() - 1
+            caps[node - 1] = self._cap(self.p >> depth)
+        return caps
+
+    def route_loads(self, src, dst):
+        loads = np.zeros(self.num_edges())
+        if src.size == 0:
+            return loads, 0
+        dil = 0
+        for s, d in zip(src, dst):
+            if s == d:
+                continue
+            # Heap ids of the leaves.
+            a = s + self.p - 1
+            b = d + self.p - 1
+            hops = 0
+            while a != b:
+                if a > b:
+                    loads[a - 1] += 1.0
+                    a = (a - 1) // 2
+                else:
+                    loads[b - 1] += 1.0
+                    b = (b - 1) // 2
+                hops += 1
+            dil = max(dil, hops)
+        return loads, dil
+
+    def diameter_of_cluster(self, i: int) -> float:
+        return max(1, 2 * ilog2(self.p >> i))
+
+    def bisection_of_cluster(self, i: int) -> float:
+        return self._cap(self.p >> (i + 1))
+
+
+def by_name(name: str, p: int) -> Topology:
+    """Construct a topology by preset name."""
+    table = {
+        "ring": Ring,
+        "mesh2d": Mesh2D,
+        "hypercube": Hypercube,
+        "fat-tree": FatTree,
+    }
+    if name not in table:
+        raise KeyError(f"unknown topology {name!r}; choose from {sorted(table)}")
+    return table[name](p)

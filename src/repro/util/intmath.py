@@ -1,0 +1,83 @@
+"""Integer arithmetic helpers for cluster and superstep index algebra.
+
+All machine sizes in the paper are powers of two; cluster membership is
+decided by shared most-significant index bits.  These helpers keep that
+bit-twiddling in one audited place.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "ceil_log2",
+    "next_power_of_two",
+    "ceil_div",
+    "paper_log",
+    "shared_msb",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return ``True`` iff ``x`` is a positive integral power of two."""
+    return isinstance(x, (int,)) and x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact binary logarithm of a power of two.
+
+    Raises :class:`ValueError` when ``x`` is not a power of two, so silent
+    truncation can never corrupt cluster arithmetic.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"ilog2 requires a power of two, got {x!r}")
+    return x.bit_length() - 1
+
+
+def ceil_log2(x: int) -> int:
+    """Smallest ``k`` with ``2**k >= x`` (``x >= 1``)."""
+    if x < 1:
+        raise ValueError(f"ceil_log2 requires x >= 1, got {x!r}")
+    return (x - 1).bit_length()
+
+
+def next_power_of_two(x: int) -> int:
+    """Smallest power of two ``>= x`` (``x >= 1``)."""
+    return 1 << ceil_log2(x)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"ceil_div requires b > 0, got {b!r}")
+    return -(-a // b)
+
+
+def paper_log(x: float) -> float:
+    """The paper's logarithm convention ``log x = max(1, log2 x)``.
+
+    Footnote 1 of the paper: "we use log x to mean max{1, log2 x}"; this
+    keeps expressions such as ``log(n/p)`` well defined at ``p = n``.
+    """
+    if x <= 0:
+        raise ValueError(f"paper_log requires x > 0, got {x!r}")
+    return max(1.0, math.log2(x))
+
+
+def shared_msb(v: int, a: int, b: int) -> int:
+    """Number of most-significant bits shared by indices ``a, b`` in ``[0, v)``.
+
+    Indices are interpreted as ``log2(v)``-bit strings (the VP/processor
+    numbering of ``M(v)``).  A message ``a -> b`` is legal in an
+    i-superstep iff ``shared_msb(v, a, b) >= i`` (Section 2).
+    """
+    logv = ilog2(v)
+    if not (0 <= a < v and 0 <= b < v):
+        raise ValueError(f"indices {a}, {b} out of range for v={v}")
+    if a == b:
+        return logv
+    diff = a ^ b
+    # The highest differing bit position, counted from the MSB side.
+    return logv - diff.bit_length()

@@ -1,0 +1,113 @@
+"""Tests for the parameter-aware BSP baselines."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.semiring import MIN_PLUS
+from repro.baselines import cube_3d, sample_sort, summa_2d, transpose_fft
+from repro.core import TraceMetrics
+
+
+class TestSumma2D:
+    @pytest.mark.parametrize("p", [4, 16, 64])
+    def test_correct(self, rng, p):
+        side = 16
+        A, B = rng.random((side, side)), rng.random((side, side))
+        res = summa_2d(A, B, p)
+        res.trace.validate()
+        assert np.allclose(res.product, A @ B)
+
+    def test_semiring(self, rng):
+        A, B = rng.random((8, 8)), rng.random((8, 8))
+        res = summa_2d(A, B, 4, semiring=MIN_PLUS)
+        assert np.allclose(res.product, (A[:, :, None] + B[None, :, :]).min(axis=1))
+
+    def test_H_scales_as_n_over_sqrt_p(self, rng):
+        side = 32
+        n = side * side
+        A, B = rng.random((side, side)), rng.random((side, side))
+        for p in (4, 16, 64):
+            h = TraceMetrics(summa_2d(A, B, p).trace).H(p, 0.0)
+            assert h <= 6 * n / np.sqrt(p)
+            assert h >= n / np.sqrt(p) / 6
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            summa_2d(np.eye(8), np.eye(8), 8)  # not a perfect square
+
+
+class TestCube3D:
+    @pytest.mark.parametrize("p", [8, 64])
+    def test_correct(self, rng, p):
+        side = 16
+        A, B = rng.random((side, side)), rng.random((side, side))
+        res = cube_3d(A, B, p)
+        res.trace.validate()
+        assert np.allclose(res.product, A @ B)
+
+    def test_H_scales_as_n_over_p23(self, rng):
+        side = 32
+        n = side * side
+        A, B = rng.random((side, side)), rng.random((side, side))
+        for p in (8, 64):
+            h = TraceMetrics(cube_3d(A, B, p).trace).H(p, 0.0)
+            assert h <= 8 * n / p ** (2 / 3)
+
+    def test_beats_2d_for_large_p(self, rng):
+        side = 32
+        A, B = rng.random((side, side)), rng.random((side, side))
+        h3 = TraceMetrics(cube_3d(A, B, 64).trace).H(64, 0.0)
+        h2 = TraceMetrics(summa_2d(A, B, 64).trace).H(64, 0.0)
+        assert h3 < h2
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            cube_3d(np.eye(8), np.eye(8), 16)
+
+
+class TestTransposeFFT:
+    @pytest.mark.parametrize("p", [2, 4, 8, 16])
+    def test_correct(self, rng, p):
+        x = rng.random(256) + 1j * rng.random(256)
+        res = transpose_fft(x, p)
+        res.trace.validate()
+        assert np.allclose(res.output, np.fft.fft(x))
+
+    def test_constant_supersteps(self, rng):
+        res = transpose_fft(rng.random(256) + 0j, 8)
+        assert res.supersteps == 2
+
+    def test_H_near_n_over_p(self, rng):
+        n = 1024
+        x = rng.random(n) + 0j
+        for p in (4, 16, 32):
+            h = TraceMetrics(transpose_fft(x, p).trace).H(p, 0.0)
+            assert h <= 4 * n / p
+
+    def test_rejects_p_too_large(self):
+        with pytest.raises(ValueError):
+            transpose_fft(np.zeros(64, dtype=complex), 16)
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_correct(self, rng, p):
+        keys = rng.permutation(512).astype(float)
+        res = sample_sort(keys, p)
+        res.trace.validate()
+        assert np.array_equal(res.output, np.sort(keys))
+
+    def test_regular_sampling_bucket_bound(self, rng):
+        """PSRS guarantee: no bucket exceeds 2n/p."""
+        n, p = 1024, 8
+        for seed in range(5):
+            keys = np.random.default_rng(seed).permutation(n).astype(float)
+            res = sample_sort(keys, p)
+            assert res.max_bucket <= 2 * n // p
+
+    def test_H_near_n_over_p(self, rng):
+        n = 2048
+        keys = rng.permutation(n).astype(float)
+        for p in (4, 8):
+            h = TraceMetrics(sample_sort(keys, p).trace).H(p, 0.0)
+            assert h <= 4 * (n / p + p * p)

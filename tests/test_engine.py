@@ -1,0 +1,105 @@
+"""Unit tests for the M(v) machine simulator."""
+
+import numpy as np
+import pytest
+
+from repro.machine.engine import ClusterViolation, Machine
+
+
+class TestSuperstepValidation:
+    def test_zero_superstep_allows_any_pair(self):
+        m = Machine(8)
+        m.superstep(0, [(0, 7, "x"), (7, 0, "y")])
+        assert m.trace.num_supersteps == 1
+
+    def test_cluster_violation_raises(self):
+        m = Machine(8)
+        with pytest.raises(ClusterViolation):
+            m.superstep(1, [(0, 4, "x")])  # 0 and 4 differ in the top bit
+
+    def test_cluster_boundary_ok(self):
+        m = Machine(8)
+        m.superstep(1, [(0, 3, "x"), (4, 7, "y")])  # within halves
+
+    def test_label_range(self):
+        m = Machine(8)
+        with pytest.raises(ValueError):
+            m.superstep(3, [])  # labels are [0, log v) = [0, 3)
+        with pytest.raises(ValueError):
+            m.superstep(-1, [])
+
+    def test_endpoint_range(self):
+        m = Machine(8)
+        with pytest.raises(ValueError):
+            m.superstep(0, [(0, 8, "x")])
+
+    def test_check_disabled_skips_validation(self):
+        m = Machine(8, check=False)
+        m.superstep(1, [(0, 4, "x")])  # would raise with checking on
+        assert m.trace.total_messages == 1
+
+    def test_non_power_of_two_machine_rejected(self):
+        with pytest.raises(ValueError):
+            Machine(6)
+
+
+class TestDelivery:
+    def test_payloads_reach_inboxes(self):
+        m = Machine(4)
+        m.superstep(0, [(0, 1, "a"), (2, 1, "b"), (3, 3, "self")])
+        assert sorted(m.mem[1].peek()) == ["a", "b"]
+        assert m.mem[3].peek() == ["self"]
+
+    def test_receive_pops(self):
+        m = Machine(4)
+        m.superstep(0, [(0, 1, "a")])
+        assert m.mem[1].receive() == "a"
+        assert m.mem[1].receive() is None
+
+    def test_receive_all_drains(self):
+        m = Machine(4)
+        m.superstep(0, [(0, 1, "a"), (0, 1, "b")])
+        assert sorted(m.mem[1].receive_all()) == ["a", "b"]
+        assert m.mem[1].peek() == []
+
+    def test_deliver_disabled(self):
+        m = Machine(4, deliver=False)
+        m.superstep(0, [(0, 1, "a")])
+        assert m.mem[1].peek() == []
+        assert m.trace.total_messages == 1
+
+    def test_array_form_records_without_delivery(self):
+        m = Machine(4)
+        m.superstep(0, (), src_arr=np.array([0, 1]), dst_arr=np.array([2, 3]))
+        assert m.trace.total_messages == 2
+        assert m.mem[2].peek() == []
+
+
+class TestStateHelpers:
+    def test_scatter_gather(self):
+        m = Machine(4)
+        m.scatter_array("x", [10, 11, 12, 13])
+        assert m.gather_array("x") == [10, 11, 12, 13]
+
+    def test_scatter_partial(self):
+        m = Machine(4)
+        m.scatter("k", {2: "z"})
+        assert m.gather_array("k") == [None, None, "z", None]
+
+    def test_scatter_array_length_checked(self):
+        m = Machine(4)
+        with pytest.raises(ValueError):
+            m.scatter_array("x", [1, 2, 3])
+
+    def test_cluster_of(self):
+        m = Machine(16)
+        assert m.cluster_of(5, 0) == (0, 16)
+        assert m.cluster_of(5, 1) == (0, 8)
+        assert m.cluster_of(9, 1) == (8, 8)
+        assert m.cluster_of(9, 4) == (9, 1)
+
+    def test_drain_inboxes(self):
+        m = Machine(4)
+        m.superstep(0, [(0, 1, "a")])
+        m.drain_inboxes()
+        assert m.mem[1].peek() == []

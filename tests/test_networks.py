@@ -1,0 +1,120 @@
+"""Tests for the network substrate: topologies, routing, D-BSP fitting."""
+
+import numpy as np
+import pytest
+
+from repro.machine.trace import Trace
+from repro.networks import (
+    FatTree,
+    Hypercube,
+    Mesh2D,
+    Ring,
+    by_name,
+    compare_with_dbsp,
+    fit,
+    routed_time,
+    superstep_time,
+)
+
+from conftest import random_trace
+
+ALL = ["ring", "mesh2d", "hypercube", "fat-tree"]
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("name", ALL)
+    def test_construct(self, name):
+        topo = by_name(name, 16)
+        assert topo.p == 16
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            by_name("torus9", 16)
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_empty_routing(self, name):
+        topo = by_name(name, 16)
+        cost = superstep_time(topo, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert cost.congestion == 0.0
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_self_messages_free(self, name):
+        topo = by_name(name, 16)
+        idx = np.arange(16, dtype=np.int64)
+        cost = superstep_time(topo, idx, idx)
+        assert cost.congestion == 0.0
+
+    def test_ring_dilation(self):
+        topo = Ring(16)
+        cost = superstep_time(topo, np.array([0]), np.array([8]))
+        assert cost.dilation == 8
+        cost = superstep_time(topo, np.array([0]), np.array([15]))
+        assert cost.dilation == 1  # wraps the short way
+
+    def test_hypercube_dilation_is_hamming(self):
+        topo = Hypercube(16)
+        cost = superstep_time(topo, np.array([0]), np.array([15]))
+        assert cost.dilation == 4
+
+    def test_mesh_dilation_is_manhattan(self):
+        topo = Mesh2D(16)
+        # Morton 0 = (0,0), Morton 15 = (3,3).
+        cost = superstep_time(topo, np.array([0]), np.array([15]))
+        assert cost.dilation == 6
+
+    def test_fat_tree_dilation_height(self):
+        topo = FatTree(16)
+        cost = superstep_time(topo, np.array([0]), np.array([15]))
+        assert cost.dilation == 8  # up 4 + down 4
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_congestion_counts_bottleneck(self, name):
+        topo = by_name(name, 8)
+        # All-to-one: the edge into node 0 is a bottleneck everywhere.
+        src = np.arange(1, 8, dtype=np.int64)
+        dst = np.zeros(7, dtype=np.int64)
+        cost = superstep_time(topo, src, dst)
+        assert cost.congestion >= 2.0
+
+
+class TestDBSPFit:
+    @pytest.mark.parametrize("name", ALL)
+    @pytest.mark.parametrize("p", [8, 64])
+    def test_fitted_machine_admissible(self, name, p):
+        fit(by_name(name, p)).validate()
+
+    def test_ring_g_linear(self):
+        m = fit(Ring(64))
+        assert m.g[0] / m.g[3] == pytest.approx(8.0)
+
+    def test_hypercube_g_constant(self):
+        m = fit(Hypercube(64))
+        assert max(m.g) == pytest.approx(min(m.g))
+
+    def test_mesh_g_sqrt(self):
+        m = fit(Mesh2D(256))
+        assert m.g[0] / m.g[2] == pytest.approx(2.0)
+
+
+class TestSimulation:
+    @pytest.mark.parametrize("name", ALL)
+    def test_dbsp_predicts_routed_time(self, name, rng):
+        """E11: routed-vs-predicted ratio within a modest constant."""
+        t = random_trace(64, 10, rng, max_messages=128)
+        topo = by_name(name, 16)
+        cmp = compare_with_dbsp(t, topo)
+        assert 0.05 <= cmp.ratio <= 20.0
+
+    def test_routed_time_additive_over_supersteps(self, rng):
+        topo = Ring(8)
+        t1 = random_trace(8, 1, rng)
+        t2 = Trace(8)
+        t2.records.extend(t1.records)
+        t2.records.extend(t1.records)
+        assert routed_time(t2, topo) == pytest.approx(2 * routed_time(t1, topo))
+
+    def test_hypercube_beats_ring_on_global_pattern(self, rng):
+        t = Trace(16)
+        src = np.arange(16, dtype=np.int64)
+        t.append(0, src, (src + 8) % 16)
+        assert routed_time(t, Hypercube(16)) < routed_time(t, Ring(16))

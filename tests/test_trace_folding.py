@@ -1,0 +1,159 @@
+"""Unit tests for traces, degrees and folding (Section 2 semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.folding import (
+    F_vector,
+    S_vector,
+    fold_degrees,
+    fold_message_counts,
+    fold_trace,
+)
+from repro.machine.trace import SuperstepRecord, Trace
+
+from conftest import all_folds, random_trace
+
+
+def brute_degree(src, dst, v, p):
+    """Reference degree computation by explicit per-processor counting."""
+    block = v // p
+    sent = [0] * p
+    recv = [0] * p
+    for s, d in zip(src, dst):
+        if s // block != d // block:
+            sent[s // block] += 1
+            recv[d // block] += 1
+    return max(max(sent), max(recv)) if len(src) else 0
+
+
+class TestDegrees:
+    def test_empty_superstep(self):
+        rec = SuperstepRecord(0, np.empty(0, np.int64), np.empty(0, np.int64))
+        assert rec.degree(8, 4) == 0
+
+    def test_internal_messages_free(self):
+        rec = SuperstepRecord(0, np.array([0, 1]), np.array([1, 0]))
+        assert rec.degree(8, 4) == 0  # both VPs map to processor 0
+        assert rec.degree(8, 8) == 1
+
+    def test_degree_counts_max_side(self):
+        # VP0 sends 3 messages to 3 different halves-partners.
+        rec = SuperstepRecord(0, np.array([0, 0, 0]), np.array([4, 5, 6]))
+        assert rec.degree(8, 2) == 3  # proc 0 sends 3, proc 1 receives 3
+        assert rec.degree(8, 8) == 3  # VP0 sends 3; receivers get 1 each
+
+    def test_degree_on_fan_in(self):
+        rec = SuperstepRecord(0, np.array([1, 2, 3]), np.array([0, 0, 0]))
+        assert rec.degree(4, 4) == 3
+
+    @given(st.integers(1, 5), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_degree_matches_bruteforce(self, logp, data):
+        v = 32
+        p = 1 << logp
+        m = data.draw(st.integers(0, 40))
+        src = np.array(data.draw(st.lists(st.integers(0, v - 1), min_size=m, max_size=m)), dtype=np.int64)
+        dst = np.array(data.draw(st.lists(st.integers(0, v - 1), min_size=m, max_size=m)), dtype=np.int64)
+        rec = SuperstepRecord(0, src, dst)
+        assert rec.degree(v, p) == brute_degree(src, dst, v, p)
+
+
+class TestTrace:
+    def test_validate_accepts_legal(self, rng):
+        random_trace(32, 10, rng).validate()
+
+    def test_validate_rejects_cluster_violation(self):
+        t = Trace(8)
+        t.append(1, np.array([0]), np.array([4]))
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_validate_rejects_bad_label(self):
+        t = Trace(8)
+        t.records.append(SuperstepRecord(5, np.empty(0, np.int64), np.empty(0, np.int64)))
+        with pytest.raises(ValueError):
+            t.validate()
+
+    def test_label_counts(self, rng):
+        t = random_trace(16, 12, rng)
+        counts = t.label_counts()
+        assert sum(counts.values()) == 12
+
+    def test_extend_requires_same_v(self, rng):
+        t = random_trace(16, 2, rng)
+        with pytest.raises(ValueError):
+            t.extend(random_trace(8, 2, rng))
+
+    def test_append_shape_check(self):
+        t = Trace(8)
+        with pytest.raises(ValueError):
+            t.append(0, np.array([0, 1]), np.array([1]))
+
+
+class TestFolding:
+    def test_S_vector_counts_surviving_labels(self, rng):
+        t = random_trace(32, 20, rng)
+        for p in all_folds(32):
+            S = S_vector(t, p)
+            logp = len(S)
+            expected = sum(1 for r in t.records if r.label < logp)
+            assert S.sum() == expected
+
+    def test_F_vector_consistent_with_degrees(self, rng):
+        t = random_trace(32, 15, rng)
+        for p in all_folds(32):
+            F = F_vector(t, p)
+            deg = fold_degrees(t, p)
+            logp = len(F)
+            for i in range(logp):
+                manual = sum(
+                    int(d) for r, d in zip(t.records, deg) if r.label == i
+                )
+                assert F[i] == manual
+
+    def test_fold_p1_empty(self, rng):
+        t = random_trace(16, 5, rng)
+        assert F_vector(t, 1).size == 0
+        assert S_vector(t, 1).size == 0
+
+    def test_fold_cannot_grow(self, rng):
+        t = random_trace(16, 3, rng)
+        with pytest.raises(ValueError):
+            F_vector(t, 32)
+
+    def test_fold_trace_valid_and_equivalent(self, rng):
+        t = random_trace(64, 12, rng)
+        for p in (4, 16, 64):
+            ft = fold_trace(t, p)
+            ft.validate()
+            assert ft.v == p
+            # Folded degrees at full granularity match original fold.
+            for rec_f, h in zip(ft.records, None or []):
+                pass
+            # message counts agree
+            orig = fold_message_counts(t, p)
+            kept = [r.num_messages for r in ft.records]
+            surviving = [
+                c for r, c in zip(t.records, orig) if r.label < np.log2(p)
+            ]
+            assert kept == surviving
+
+    def test_fold_trace_drops_coarse_labels(self, rng):
+        t = Trace(16)
+        t.append(0, np.array([0]), np.array([15]))
+        t.append(3, np.array([0]), np.array([1]))
+        ft = fold_trace(t, 4)
+        assert ft.num_supersteps == 1  # the 3-superstep became local
+
+    def test_degree_nonincreasing_total_under_folding(self, rng):
+        # Total cross messages can only shrink when processors merge.
+        t = random_trace(64, 10, rng)
+        prev = None
+        for p in reversed(all_folds(64)):  # 64, 32, ..., 2
+            tot = fold_message_counts(t, p).sum()
+            if prev is not None:
+                assert tot <= prev
+            prev = tot
