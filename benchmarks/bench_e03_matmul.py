@@ -15,10 +15,10 @@ from repro.core.lower_bounds import mm_lower_bound
 from repro.core.theory import h_mm_closed
 
 
-def run_sweep():
+def run_sweep(sides=(16, 32, 64)):
     rng = np.random.default_rng(3)
     rows = []
-    for side in (16, 32, 64):
+    for side in sides:
         n = side * side
         res = matmul.run(rng.random((side, side)), rng.random((side, side)))
         tm = TraceMetrics(res.trace)
@@ -39,8 +39,9 @@ def run_sweep():
     return rows
 
 
-def test_e03_matmul_scaling(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e03_matmul_scaling(benchmark, quick):
+    sides = (16,) if quick else (16, 32, 64)
+    rows = benchmark.pedantic(run_sweep, args=(sides,), rounds=1, iterations=1)
     emit_table(
         "e03_matmul",
         "E03  Theorem 4.2: H_MM vs n/p^{2/3} + sigma*log p (and Lemma 4.1 ratio)",

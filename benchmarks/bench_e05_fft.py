@@ -16,10 +16,10 @@ from repro.core.lower_bounds import fft_lower_bound
 from repro.core.theory import h_fft_closed
 
 
-def run_sweep():
+def run_sweep(ns=(256, 1024, 4096)):
     rng = np.random.default_rng(5)
     rows = []
-    for n in (256, 1024, 4096):
+    for n in ns:
         x = rng.random(n) + 0j
         tm = TraceMetrics(fft.run(x).trace)
         for p in geometric(4, n, 4):
@@ -43,8 +43,9 @@ def run_sweep():
     return rows
 
 
-def test_e05_fft_scaling(benchmark):
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+def test_e05_fft_scaling(benchmark, quick):
+    ns = (256,) if quick else (256, 1024, 4096)
+    rows = benchmark.pedantic(run_sweep, args=(ns,), rounds=1, iterations=1)
     emit_table(
         "e05_fft",
         "E05  Theorem 4.5: H_FFT vs (n/p + sigma) log n / log(n/p)",

@@ -1,6 +1,27 @@
-"""Bench configuration: every bench runs its sweep once via pedantic."""
+"""Bench configuration: every bench runs its sweep once via pedantic.
+
+``--quick`` shrinks the parameterised benches to CI-smoke scale (one
+size per family, seconds instead of minutes) without changing the shape
+assertions — the qualitative claims must hold at every scale.
+"""
 
 import sys
 from pathlib import Path
 
+import pytest
+
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: run each bench at its smallest problem size",
+    )
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return request.config.getoption("--quick")

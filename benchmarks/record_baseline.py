@@ -1,0 +1,89 @@
+"""Record wall-clock baselines for the trace-heavy benches.
+
+Times the ``run_sweep`` workload of selected benches (no pytest involved,
+so the numbers isolate the library code from harness overhead) and merges
+them into ``BENCH_baseline.json`` at the repo root under a tag::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py --tag after
+
+Tags accumulate — recording ``before`` on one commit and ``after`` on the
+next gives the PR's perf trajectory its data points.  ``speedup_vs_before``
+is recomputed whenever both tags are present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).parent
+REPO_ROOT = BENCH_DIR.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
+
+#: bench module -> short name; each must expose ``run_sweep()``.
+WORKLOADS = {
+    "bench_e01_folding_lemma": "e01_folding_lemma",
+    "bench_e03_matmul": "e03_matmul",
+    "bench_e05_fft": "e05_fft",
+    "bench_e16_fold_kernels": "e16_fold_kernels",
+}
+
+
+def _load(module_name: str):
+    spec = importlib.util.spec_from_file_location(
+        module_name, BENCH_DIR / f"{module_name}.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def time_workloads(repeats: int) -> dict[str, float]:
+    sys.path.insert(0, str(BENCH_DIR))
+    out = {}
+    for module_name, short in WORKLOADS.items():
+        mod = _load(module_name)
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            mod.run_sweep()
+            best = min(best, time.perf_counter() - t0)
+        out[short] = round(best, 4)
+        print(f"{short}: {best:.3f}s")
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--tag", required=True, help="label for this recording, e.g. before/after")
+    ap.add_argument("--repeats", type=int, default=2, help="take the best of N runs")
+    args = ap.parse_args()
+
+    data = {}
+    if BASELINE_PATH.exists():
+        data = json.loads(BASELINE_PATH.read_text())
+
+    data[args.tag] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "seconds": time_workloads(args.repeats),
+    }
+    if "before" in data and "after" in data:
+        before = data["before"]["seconds"]
+        after = data["after"]["seconds"]
+        data["speedup_vs_before"] = {
+            k: round(before[k] / after[k], 2)
+            for k in before
+            if k in after and after[k] > 0
+        }
+    BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,9 @@
 """Legacy setup shim.
 
 The execution environment is offline and lacks the ``wheel`` package, so
-PEP-517 editable installs cannot build; this shim lets
-``pip install -e . --no-use-pep517 --no-build-isolation`` (or plain
-``python setup.py develop``) work with the stock setuptools.
-All real metadata lives in pyproject.toml.
+pip's editable installs (PEP 517 and ``--no-use-pep517`` alike) cannot
+build; this shim lets ``python setup.py develop`` work with the stock
+setuptools.  All real metadata lives in pyproject.toml.
 """
 
 from setuptools import setup

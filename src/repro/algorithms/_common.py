@@ -4,10 +4,11 @@ All algorithms in this package follow the same discipline:
 
 * they are *static*: the superstep sequence, labels and message endpoint
   sets depend only on the input size;
-* they are driven globally (a "director" builds each superstep's message
-  arrays for all VPs at once), which is both the natural encoding of
-  static algorithms and orders of magnitude faster than per-VP actors in
-  Python;
+* they **emit** their communication as a columnar
+  :class:`~repro.machine.program.Schedule` (the "compile" half): a
+  director builds each superstep's message arrays for all VPs at once
+  into a :class:`~repro.machine.program.ScheduleBuilder`, and the engine
+  executes/validates the finished IR in one vectorised pass;
 * value motion is tracked in driver-held numpy arrays whose ownership
   convention mirrors the VP layout exactly — every recorded message
   corresponds to one matrix/vector entry (or a wiseness dummy) moving
@@ -17,11 +18,12 @@ All algorithms in this package follow the same discipline:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.machine.engine import Machine
+from repro.machine.program import Schedule, ScheduleBuilder
 from repro.machine.trace import Trace
 
 __all__ = ["AlgorithmResult", "SendBuffer", "add_wiseness_dummies"]
@@ -29,13 +31,19 @@ __all__ = ["AlgorithmResult", "SendBuffer", "add_wiseness_dummies"]
 
 @dataclass
 class AlgorithmResult:
-    """Base result: the specification machine trace plus metadata."""
+    """Base result: the specification machine trace plus metadata.
+
+    ``schedule`` carries the compiled IR the trace was executed from
+    (``None`` for interactively driven runs) — downstream consumers can
+    re-execute or re-analyse it without re-running the algorithm.
+    """
 
     trace: Trace
     v: int
     n: int
     supersteps: int
     messages: int
+    schedule: Schedule | None = None
 
     @classmethod
     def _from_machine(cls, machine: Machine, n: int, **kw):
@@ -48,13 +56,35 @@ class AlgorithmResult:
             **kw,
         )
 
+    @classmethod
+    def from_schedule(cls, schedule: Schedule, n: int, *, check: bool = True, **kw):
+        """Validate a compiled schedule (metric-only) and wrap its trace.
+
+        The pure metric-only path: no ``Machine`` (and its ``v`` local
+        stores) is allocated — value motion already happened driver-side.
+        Use :func:`repro.machine.engine.execute` when payload delivery to
+        VP inboxes is needed.
+        """
+        return cls(
+            trace=schedule.to_trace(validate=check),
+            v=schedule.v,
+            n=n,
+            supersteps=schedule.num_supersteps,
+            messages=schedule.num_messages,
+            schedule=schedule,
+            **kw,
+        )
+
 
 class SendBuffer:
     """Accumulates message endpoints for one superstep across many tasks.
 
     Level-synchronous recursions (all tasks of a recursion level emit into
     the *same* superstep) append per-task endpoint arrays here; ``flush``
-    submits the concatenated arrays to the machine as one superstep.
+    submits the concatenated arrays as one superstep of the target — a
+    :class:`~repro.machine.program.ScheduleBuilder` (the compiled path)
+    or a live :class:`~repro.machine.engine.Machine` (both expose the
+    same ``superstep`` signature).
     """
 
     def __init__(self) -> None:
@@ -73,19 +103,21 @@ class SendBuffer:
             self._src.append(arr[:, 0])
             self._dst.append(arr[:, 1])
 
-    def flush(self, machine: Machine, label: int) -> None:
+    def flush(self, target: ScheduleBuilder | Machine, label: int) -> None:
         src = (
             np.concatenate(self._src) if self._src else np.empty(0, dtype=np.int64)
         )
         dst = (
             np.concatenate(self._dst) if self._dst else np.empty(0, dtype=np.int64)
         )
-        machine.superstep(label, (), src_arr=src, dst_arr=dst)
+        target.superstep(label, (), src_arr=src, dst_arr=dst)
         self._src.clear()
         self._dst.clear()
 
 
-def add_wiseness_dummies(buf: SendBuffer, v: int, label: int, multiplicity: int) -> None:
+def add_wiseness_dummies(
+    buf: SendBuffer, v: int, label: int, multiplicity: int
+) -> None:
     """Append the paper's wiseness dummy pattern to a send buffer.
 
     Section 4.1 (and analogously 4.2/4.3): in each ``label``-superstep,

@@ -32,7 +32,7 @@ import numpy as np
 from repro.algorithms._common import AlgorithmResult
 from repro.core.lower_bounds import broadcast_lower_bound
 from repro.core.metrics import TraceMetrics
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["run", "BroadcastResult", "gap", "flat_run"]
@@ -61,7 +61,7 @@ def run(values: np.ndarray, *, kappa: int = 2) -> BroadcastResult:
     if kappa < 2:
         raise ValueError("kappa must be >= 2")
 
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     out = values.copy()
     known = [0]  # roots currently holding the value
     i = 0
@@ -81,7 +81,7 @@ def run(values: np.ndarray, *, kappa: int = 2) -> BroadcastResult:
                 if d != r:
                     srcs.append(r)
                     dsts.append(d)
-        machine.superstep(
+        builder.superstep(
             label,
             (),
             src_arr=np.array(srcs, dtype=np.int64),
@@ -90,15 +90,7 @@ def run(values: np.ndarray, *, kappa: int = 2) -> BroadcastResult:
         known = new_known
         i += 1
     out[:] = values[0]
-    return BroadcastResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        output=out,
-        kappa=kappa,
-    )
+    return BroadcastResult.from_schedule(builder.build(), n, output=out, kappa=kappa)
 
 
 def flat_run(values: np.ndarray) -> BroadcastResult:
@@ -110,20 +102,12 @@ def flat_run(values: np.ndarray) -> BroadcastResult:
     values = np.asarray(values)
     n = values.shape[0]
     ilog2(n)
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     dst = np.arange(1, n, dtype=np.int64)
-    machine.superstep(0, (), src_arr=np.zeros(n - 1, dtype=np.int64), dst_arr=dst)
+    builder.superstep(0, (), src_arr=np.zeros(n - 1, dtype=np.int64), dst_arr=dst)
     out = values.copy()
     out[:] = values[0]
-    return BroadcastResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=1,
-        messages=n - 1,
-        output=out,
-        kappa=n,
-    )
+    return BroadcastResult.from_schedule(builder.build(), n, output=out, kappa=n)
 
 
 def gap(

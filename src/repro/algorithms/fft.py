@@ -38,7 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer, add_wiseness_dummies
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ceil_log2, ilog2
 
 __all__ = ["run", "FFTResult"]
@@ -131,14 +131,7 @@ def run(x: np.ndarray, *, wise: bool = True) -> FFTResult:
     ilog2(n)
     if n < 2:
         raise ValueError("n-FFT needs n >= 2")
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     val = x.copy()
-    _fft_level(machine, val, np.array([0], dtype=np.int64), n, wise)
-    return FFTResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        output=val,
-    )
+    _fft_level(builder, val, np.array([0], dtype=np.int64), n, wise)
+    return FFTResult.from_schedule(builder.build(), n, output=val)

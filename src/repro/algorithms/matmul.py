@@ -46,8 +46,7 @@ import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer, add_wiseness_dummies
 from repro.algorithms.semiring import STANDARD, Semiring
-from repro.machine.engine import Machine
-from repro.machine.trace import Trace
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 from repro.util.morton import dense_to_morton, morton_to_dense
 
@@ -138,7 +137,7 @@ def _combine_messages(
     return c
 
 
-def _base_case(tasks: list[_Task], machine: Machine, label: int, sr: Semiring,
+def _base_case(tasks: list[_Task], machine: ScheduleBuilder, label: int, sr: Semiring,
                wise: bool, epv: int) -> list[np.ndarray]:
     """Solve remaining tasks on segments of 1, 2 or 4 VPs.
 
@@ -174,7 +173,7 @@ def _base_case(tasks: list[_Task], machine: Machine, label: int, sr: Semiring,
     return out
 
 
-def _solve(tasks: list[_Task], level: int, machine: Machine, sr: Semiring,
+def _solve(tasks: list[_Task], level: int, machine: ScheduleBuilder, sr: Semiring,
            wise: bool) -> list[np.ndarray]:
     m = tasks[0].m
     epv = tasks[0].q // m if m else 1
@@ -239,15 +238,8 @@ def run(
     if n < 16:
         raise ValueError("n-MM needs side >= 4 (n >= 16)")
 
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     root = _Task(0, n, dense_to_morton(A), dense_to_morton(B))
-    (c_morton,) = [_solve([root], 0, machine, semiring, wise)[0]]
+    (c_morton,) = [_solve([root], 0, builder, semiring, wise)[0]]
     product = morton_to_dense(c_morton)
-    return MatMulResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        product=product,
-    )
+    return MatMulResult.from_schedule(builder.build(), n, product=product)

@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer, add_wiseness_dummies
 from repro.algorithms.semiring import STANDARD, Semiring
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 from repro.util.morton import dense_to_morton, morton_to_dense
 
@@ -64,7 +64,7 @@ class SpaceMatMulResult(AlgorithmResult):
 class _State:
     """Driver state: values are immutable, only positions permute."""
 
-    def __init__(self, machine: Machine, val_a, val_b, sr: Semiring, wise: bool):
+    def __init__(self, machine: ScheduleBuilder, val_a, val_b, sr: Semiring, wise: bool):
         n = machine.v
         self.machine = machine
         self.sr = sr
@@ -156,8 +156,8 @@ def run(
         raise ValueError("need side >= 2")
     n = side * side
 
-    machine = Machine(n, deliver=False)
-    state = _State(machine, dense_to_morton(A), dense_to_morton(B), semiring, wise)
+    builder = ScheduleBuilder(n)
+    state = _State(builder, dense_to_morton(A), dense_to_morton(B), semiring, wise)
     root = (
         np.array([0], dtype=np.int64),
         np.array([0], dtype=np.int64),
@@ -165,12 +165,9 @@ def run(
     )
     _solve(state, *root, n, 0)
 
-    return SpaceMatMulResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
+    return SpaceMatMulResult.from_schedule(
+        builder.build(),
+        n,
         product=morton_to_dense(state.c),
         max_entries_per_vp=3,  # working A + working B + C accumulator
     )

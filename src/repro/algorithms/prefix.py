@@ -26,7 +26,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.algorithms._common import AlgorithmResult
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["run", "PrefixResult"]
@@ -55,19 +55,19 @@ def run(
     x = np.asarray(x)
     v = x.shape[0]
     logv = ilog2(v)
-    machine = Machine(v, deliver=False)
+    builder = ScheduleBuilder(v)
     val = x.astype(np.result_type(x, type(identity)), copy=True)
 
     if v == 1:
         out = np.array([identity]) if not inclusive else val
-        return PrefixResult(machine.trace, 1, 1, 0, 0, output=out)
+        return PrefixResult.from_schedule(builder.build(), 1, output=out)
 
     # Up-sweep: right child of each distance-2^d pair absorbs the left sum.
     for d in range(logv):
         stride = 1 << (d + 1)
         right = np.arange(stride - 1, v, stride, dtype=np.int64)
         left = right - (1 << d)
-        machine.superstep(logv - d - 1, (), src_arr=left, dst_arr=right)
+        builder.superstep(logv - d - 1, (), src_arr=left, dst_arr=right)
         val[right] = op(val[left], val[right])
 
     # Down-sweep: root seeds the identity; each node pushes prefixes down.
@@ -80,20 +80,13 @@ def run(
         # left and right swap/combine: two messages per pair.
         src = np.concatenate([left, right])
         dst = np.concatenate([right, left])
-        machine.superstep(logv - d - 1, (), src_arr=src, dst_arr=dst)
+        builder.superstep(logv - d - 1, (), src_arr=src, dst_arr=dst)
         t = val[left].copy()
         val[left] = val[right]
         val[right] = op(t, val[right])
 
     if inclusive:
         val = op(val, x)
-    res = PrefixResult(
-        trace=machine.trace,
-        v=v,
-        n=v,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        output=val,
-    )
+    res = PrefixResult.from_schedule(builder.build(), v, output=val)
     res.total = total
     return res

@@ -51,7 +51,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer, add_wiseness_dummies
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ceil_div, ilog2
 
 __all__ = ["run", "SortResult", "columnsort_shape"]
@@ -166,14 +166,7 @@ def run(keys: np.ndarray, *, wise: bool = True) -> SortResult:
     keys = np.asarray(keys)
     n = keys.shape[0]
     ilog2(n)
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     val = keys.astype(np.float64, copy=True) if keys.dtype.kind in "iu" else keys.copy()
-    _sort_level(machine, val, np.array([0], dtype=np.int64), n, wise)
-    return SortResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        output=val,
-    )
+    _sort_level(builder, val, np.array([0], dtype=np.int64), n, wise)
+    return SortResult.from_schedule(builder.build(), n, output=val)

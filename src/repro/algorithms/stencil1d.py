@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer, add_wiseness_dummies
 from repro.core.theory import stencil_k
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["run", "evaluate_diamond", "Stencil1DResult", "DiamondResult", "heat_rule"]
@@ -73,11 +73,12 @@ class _Ctx:
     """Shared state of one stencil evaluation.
 
     ``grid_t x grid_x`` value and owner arrays, the stencil rule, the
-    stage's per-row x-interval function, and the machine.
+    stage's per-row x-interval function, and the schedule builder the
+    supersteps are emitted into.
     """
 
     def __init__(self, machine, grid, owner, rule, fill, wise, k):
-        self.machine = machine
+        self.machine = machine  # ScheduleBuilder (Machine-compatible recorder)
         self.grid = grid
         self.owner = owner
         self.rule = rule
@@ -320,11 +321,11 @@ def run(
     if n < 4:
         raise ValueError("need n >= 4")
     kk = k if k is not None else stencil_k(n)
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     grid = np.full((n, n), np.nan)
     grid[0] = x0
     owner = np.zeros((n, n), dtype=np.int64)
-    ctx = _Ctx(machine, grid, owner, rule, fill, wise, kk)
+    ctx = _Ctx(builder, grid, owner, rule, fill, wise, kk)
 
     prev_regions = []
     for name, interval, (u0, w0, m) in _stage_regions(n):
@@ -349,14 +350,8 @@ def run(
         _eval_box(ctx, task, n, m)
         prev_regions.append(interval)
 
-    return Stencil1DResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        grid=grid,
-        final=grid[n - 1].copy(),
+    return Stencil1DResult.from_schedule(
+        builder.build(), n, grid=grid, final=grid[n - 1].copy()
     )
 
 
@@ -406,10 +401,10 @@ def evaluate_diamond(
         raise ValueError("need n >= 2")
     kk = k if k is not None else stencil_k(n)
     nx = 2 * n - 1
-    machine = Machine(n, deliver=False)
+    builder = ScheduleBuilder(n)
     grid = np.full((nx, nx), np.nan)
     owner = np.zeros((nx, nx), dtype=np.int64)
-    ctx = _Ctx(machine, grid, owner, rule, fill, wise, kk)
+    ctx = _Ctx(builder, grid, owner, rule, fill, wise, kk)
     noff = ctx.noff
     # Diamond of side n centred at x = n-1: |x - (n-1)| <= min(t, 2(n-1)-t).
     ctx.row_interval = lambda t: (
@@ -424,13 +419,6 @@ def evaluate_diamond(
     # Input superstep: the seed moves from VP n-1 to its owner.
     _emit(ctx, 0, np.array([n - 1]), np.array([owner[0, n - 1]]))
     _eval_box(ctx, task, n, n)
-    return DiamondResult(
-        trace=machine.trace,
-        v=n,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        grid=grid,
-        k=kk,
-        phases_per_level=2 * kk - 1,
+    return DiamondResult.from_schedule(
+        builder.build(), n, grid=grid, k=kk, phases_per_level=2 * kk - 1
     )

@@ -37,7 +37,7 @@ import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer, add_wiseness_dummies
 from repro.core.theory import stencil_k
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["generate", "Stencil2DSchedule", "STAGES"]
@@ -103,7 +103,7 @@ def generate(n: int, *, k: int | None = None, wise: bool = True,
     ilog2(n)
     v = n * n
     kk = k if k is not None else stencil_k(n)
-    machine = Machine(v, deliver=False)
+    builder = ScheduleBuilder(v)
     root = np.array([0], dtype=np.int64)
     levels = 0
     m = n
@@ -112,15 +112,8 @@ def generate(n: int, *, k: int | None = None, wise: bool = True,
         m //= kk
     for _stage in range(stages):
         # Stage-opening 0-superstep: O(1) messages per VP.
-        _phase_superstep(machine, root, v, 0, wise)
-        _eval_polyhedron(machine, root, v, n, kk, wise)
-    return Stencil2DSchedule(
-        trace=machine.trace,
-        v=v,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        k=kk,
-        phases_per_level=4 * kk - 3,
-        levels=levels,
+        _phase_superstep(builder, root, v, 0, wise)
+        _eval_polyhedron(builder, root, v, n, kk, wise)
+    return Stencil2DSchedule.from_schedule(
+        builder.build(), n, k=kk, phases_per_level=4 * kk - 3, levels=levels
     )

@@ -5,6 +5,12 @@ These wrap the one-trace-many-machines workflow into ready-made tables:
 (execution model over machine presets), ``optimality_sweep``
 (measured-vs-lower-bound ratios) and ``wiseness_report``.  The benches
 and examples use them; downstream users get the same one-liners.
+
+Every sweep accepts either a raw :class:`~repro.machine.trace.Trace` or
+an existing :class:`~repro.core.metrics.TraceMetrics` — pass the metrics
+object when running several sweeps over one trace so the folded
+quantities are shared (the folding kernels also keep a module-level LRU,
+so even separate sweeps avoid recomputation).
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from repro.util.intmath import ilog2
 
 __all__ = [
     "SweepTable",
+    "metrics_of",
     "h_sweep",
     "d_sweep",
     "optimality_sweep",
@@ -68,6 +75,13 @@ class SweepTable:
         return "\n".join(lines)
 
 
+def metrics_of(trace_or_metrics: Trace | TraceMetrics) -> TraceMetrics:
+    """Coerce a trace into (or pass through) a :class:`TraceMetrics`."""
+    if isinstance(trace_or_metrics, TraceMetrics):
+        return trace_or_metrics
+    return TraceMetrics(trace_or_metrics)
+
+
 def default_fold_grid(v: int, *, factor: int = 4, start: int = 4) -> list[int]:
     """Power-of-``factor`` processor counts up to ``v``."""
     ilog2(v)
@@ -80,15 +94,15 @@ def default_fold_grid(v: int, *, factor: int = 4, start: int = 4) -> list[int]:
 
 
 def h_sweep(
-    trace: Trace,
+    trace: Trace | TraceMetrics,
     ps: Sequence[int] | None = None,
     sigmas: Sequence[float] = (0.0, 1.0, 4.0, 16.0),
     *,
     name: str = "H(n, p, sigma)",
 ) -> SweepTable:
     """Eq. 1 over a (p, sigma) grid."""
-    tm = TraceMetrics(trace)
-    ps = list(ps) if ps is not None else default_fold_grid(trace.v)
+    tm = metrics_of(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(tm.v)
     rows = tuple(
         tuple(tm.H(p, s) for s in sigmas) for p in ps
     )
@@ -96,14 +110,14 @@ def h_sweep(
 
 
 def d_sweep(
-    trace: Trace,
+    trace: Trace | TraceMetrics,
     p: int,
     machines: Mapping[str, Callable[[int], object]] | None = None,
     *,
     name: str = "D(n, p, g, ell)",
 ) -> SweepTable:
     """Eq. 2 on a family of machine presets at fixed p."""
-    tm = TraceMetrics(trace)
+    tm = metrics_of(trace)
     machines = dict(machines) if machines is not None else dict(PRESETS)
     cols, vals = [], []
     for mname, build in machines.items():
@@ -113,7 +127,7 @@ def d_sweep(
 
 
 def optimality_sweep(
-    trace: Trace,
+    trace: Trace | TraceMetrics,
     lower_bound: Callable[[int, int, float], float],
     n: int,
     ps: Sequence[int] | None = None,
@@ -122,18 +136,20 @@ def optimality_sweep(
     name: str = "H / lower bound",
 ) -> SweepTable:
     """Measured-H over a paper lower bound: flat rows = Theta(1)-optimality."""
-    tm = TraceMetrics(trace)
-    ps = list(ps) if ps is not None else default_fold_grid(trace.v)
+    tm = metrics_of(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(tm.v)
     rows = tuple(
         tuple(tm.H(p, s) / lower_bound(n, p, s) for s in sigmas) for p in ps
     )
     return SweepTable(name, tuple(ps), tuple(sigmas), rows)
 
 
-def wiseness_report(trace: Trace, ps: Sequence[int] | None = None) -> SweepTable:
+def wiseness_report(
+    trace: Trace | TraceMetrics, ps: Sequence[int] | None = None
+) -> SweepTable:
     """alpha (Def. 3.2) and gamma (Def. 5.2) across fold sizes."""
-    tm = TraceMetrics(trace)
-    ps = list(ps) if ps is not None else default_fold_grid(trace.v)
+    tm = metrics_of(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(tm.v)
     rows = tuple(
         (measured_alpha(tm, p), float(min(measured_gamma(tm, p), np.inf)))
         for p in ps

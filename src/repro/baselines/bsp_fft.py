@@ -22,7 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["transpose_fft", "BaselineFFTResult"]
@@ -47,7 +47,7 @@ def transpose_fft(x: np.ndarray, p: int) -> BaselineFFTResult:
         raise ValueError(f"transpose_fft requires p^2 <= n, got p={p}, n={n}")
     c = n // p
 
-    machine = Machine(p, deliver=False)
+    machine = ScheduleBuilder(p)
     j = np.arange(n)
     j1, j2 = j // c, j % c
     owner0 = j1  # initial block layout: processor j1 holds x[j1*c : (j1+1)*c]
@@ -82,12 +82,4 @@ def transpose_fft(x: np.ndarray, p: int) -> BaselineFFTResult:
     for row in range(p):
         X[row + k2 * p] = Z[row]
 
-    return BaselineFFTResult(
-        trace=machine.trace,
-        v=p,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        output=X,
-        p=p,
-    )
+    return BaselineFFTResult.from_schedule(machine.build(), n, output=X, p=p)

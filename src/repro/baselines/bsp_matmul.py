@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer
 from repro.algorithms.semiring import STANDARD, Semiring
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["summa_2d", "cube_3d", "BaselineMMResult"]
@@ -68,7 +68,7 @@ def summa_2d(
     bs = side // q  # block side
     entries = bs * bs
 
-    machine = Machine(p, deliver=False)
+    machine = ScheduleBuilder(p)
     C = np.zeros((side, side), dtype=np.result_type(A, B, float))
     if semiring.zero != 0.0:
         C[:] = semiring.zero
@@ -93,14 +93,8 @@ def summa_2d(
                 cb = blk(C, i, j)
                 cb[:] = semiring.add(cb, semiring.matmul(blk(A, i, m), blk(B, m, j)))
 
-    return BaselineMMResult(
-        trace=machine.trace,
-        v=p,
-        n=side * side,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        product=C,
-        p=p,
+    return BaselineMMResult.from_schedule(
+        machine.build(), side * side, product=C, p=p
     )
 
 
@@ -125,7 +119,7 @@ def cube_3d(
     bs = side // q
     entries = bs * bs
 
-    machine = Machine(p, deliver=False)
+    machine = ScheduleBuilder(p)
 
     def pid(a, b, c):
         return a * q * q + b * q + c
@@ -181,12 +175,6 @@ def cube_3d(
                 acc = semiring.add(acc, partial[(a, b, c)])
             blk(C, a, b)[:] = acc
 
-    return BaselineMMResult(
-        trace=machine.trace,
-        v=p,
-        n=side * side,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        product=C,
-        p=p,
+    return BaselineMMResult.from_schedule(
+        machine.build(), side * side, product=C, p=p
     )

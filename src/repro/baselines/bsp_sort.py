@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.algorithms._common import AlgorithmResult, SendBuffer
-from repro.machine.engine import Machine
+from repro.machine.program import ScheduleBuilder
 from repro.util.intmath import ilog2
 
 __all__ = ["sample_sort", "BaselineSortResult"]
@@ -44,7 +44,7 @@ def sample_sort(keys: np.ndarray, p: int) -> BaselineSortResult:
         raise ValueError(f"need p <= n, got p={p} > n={n}")
     b = n // p
 
-    machine = Machine(p, deliver=False)
+    machine = ScheduleBuilder(p)
     blocks = [np.sort(keys[r * b : (r + 1) * b]) for r in range(p)]
 
     if p > 1:
@@ -91,13 +91,6 @@ def sample_sort(keys: np.ndarray, p: int) -> BaselineSortResult:
     out = np.concatenate(merged)
     max_bucket = max((m.size for m in merged), default=0)
 
-    return BaselineSortResult(
-        trace=machine.trace,
-        v=p,
-        n=n,
-        supersteps=machine.trace.num_supersteps,
-        messages=machine.trace.total_messages,
-        output=out,
-        p=p,
-        max_bucket=max_bucket,
+    return BaselineSortResult.from_schedule(
+        machine.build(), n, output=out, p=p, max_bucket=max_bucket
     )

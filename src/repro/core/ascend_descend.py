@@ -170,7 +170,7 @@ def ascend_descend_trace(
     """
     folded = fold_trace(trace, p, keep_empty=True)
     out = Trace(p)
-    for rec in folded.records:
+    for rec in folded.records:  # zero-copy views into the folded columns
         rebalance_superstep(
             out, p, rec.label, rec.src, rec.dst, include_prefix=include_prefix
         )

@@ -5,6 +5,9 @@ machine ``M(v(n))`` determines, through folding, its behaviour on *every*
 ``M(p, sigma)`` and ``D-BSP(p, g, ell)`` with ``p <= v(n)``.
 :class:`TraceMetrics` wraps a trace and memoises the folded quantities so
 parameter sweeps (the bulk of the experiments) do not recompute degrees.
+The underlying kernels (:mod:`repro.machine.folding`) are columnar and
+carry their own cross-instance LRU, so even fresh ``TraceMetrics`` over
+the same trace stay cheap.
 
 The exposed quantities use the paper's notation:
 
@@ -44,15 +47,7 @@ class TraceMetrics:
 
     def F(self, p: int) -> np.ndarray:
         if p not in self._F:
-            logp = ilog2(p)
-            out = np.zeros(logp, dtype=np.int64)
-            if logp > 0:
-                deg = self.degrees(p)
-                for rec, h in zip(self.trace.records, deg):
-                    if rec.label < logp:
-                        out[rec.label] += int(h)
-            # Cross-check against the reference implementation in debug runs.
-            self._F[p] = out
+            self._F[p] = F_vector(self.trace, p)
         return self._F[p]
 
     def S(self, p: int) -> np.ndarray:

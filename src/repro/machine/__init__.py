@@ -1,28 +1,36 @@
-"""The M(v) machine substrate: simulator, traces, folding, collectives."""
+"""The M(v) machine substrate: schedule IR, simulator, traces, folding."""
 
-from repro.machine.engine import ClusterViolation, Machine
+from repro.machine.engine import ClusterViolation, Machine, execute
 from repro.machine.folding import (
     F_vector,
     S_vector,
+    clear_fold_cache,
     fold_degrees,
     fold_message_counts,
     fold_trace,
 )
+from repro.machine.program import Schedule, ScheduleBuilder, compile_schedule
 from repro.machine.store import LocalStore
-from repro.machine.trace import SuperstepRecord, Trace
+from repro.machine.trace import SuperstepRecord, Trace, TraceColumns
 from repro.machine.trace_io import load_trace, save_trace
 
 __all__ = [
     "Machine",
     "ClusterViolation",
+    "execute",
+    "Schedule",
+    "ScheduleBuilder",
+    "compile_schedule",
     "LocalStore",
     "Trace",
+    "TraceColumns",
     "SuperstepRecord",
     "fold_degrees",
     "fold_message_counts",
     "fold_trace",
     "F_vector",
     "S_vector",
+    "clear_fold_cache",
     "save_trace",
     "load_trace",
 ]

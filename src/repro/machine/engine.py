@@ -1,4 +1,4 @@
-"""The M(v) superstep machine simulator.
+"""The M(v) superstep machine simulator and schedule executor.
 
 ``Machine`` simulates the parallel machine model M(v) of Section 2: ``v``
 processing elements (a power of two), each with a CPU and unbounded local
@@ -8,16 +8,18 @@ may travel only between PEs sharing the ``i`` most significant index bits
 (their *i-cluster*), and become visible in the recipient's inbox after the
 closing ``sync(i)``.
 
-Algorithms drive the machine from a global ("director") viewpoint: each
-call to :meth:`Machine.superstep` supplies the complete message set of one
-superstep.  This style is the natural encoding of the paper's *static*
-algorithms — the endpoints of every message are a function of the input
-size only — and lets one execution serve simultaneously as
+Two ways to drive the machine:
 
-* a value-level simulation (payloads are delivered, outputs checkable), and
-* a metric-level record (the :class:`~repro.machine.trace.Trace`), from
-  which folding onto any ``M(p, sigma)`` or ``D-BSP(p, g, ell)`` with
-  ``p <= v`` is evaluated *post hoc*.
+* **Interactive**: each call to :meth:`Machine.superstep` supplies the
+  complete message set of one superstep (the "director" style).  Good
+  for tests and exploratory runs.
+* **Compiled**: an algorithm *emits* a
+  :class:`~repro.machine.program.Schedule` once, and :func:`execute`
+  runs the whole schedule in a single vectorised pass — cluster
+  constraints checked with bit-shift masks over the flat endpoint
+  arrays, the trace installed columnar, payload delivery skipped
+  entirely in metric-only runs.  This is the production path: static
+  schedules are compiled once and reused across analyses.
 
 Example
 -------
@@ -34,15 +36,12 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.machine.program import Schedule, parse_sends
 from repro.machine.store import LocalStore
-from repro.machine.trace import Trace
+from repro.machine.trace import ClusterViolation, Trace
 from repro.util.intmath import ilog2
 
-__all__ = ["Machine", "ClusterViolation"]
-
-
-class ClusterViolation(ValueError):
-    """A message attempted to leave its i-cluster in an i-superstep."""
+__all__ = ["Machine", "ClusterViolation", "execute"]
 
 
 class Machine:
@@ -72,7 +71,7 @@ class Machine:
         self.trace = Trace(v)
 
     # ------------------------------------------------------------------
-    # Core primitive
+    # Core primitives
     # ------------------------------------------------------------------
     def superstep(
         self,
@@ -93,22 +92,7 @@ class Machine:
         pre-built ``src_arr``/``dst_arr`` endpoint arrays (payloads are
         then not delivered).
         """
-        if src_arr is not None or dst_arr is not None:
-            if src_arr is None or dst_arr is None:
-                raise ValueError("src_arr and dst_arr must be given together")
-            src = np.ascontiguousarray(src_arr, dtype=np.int64)
-            dst = np.ascontiguousarray(dst_arr, dtype=np.int64)
-            payloads: list[Any] | None = None
-        else:
-            triples = list(sends)
-            src = np.fromiter(
-                (t[0] for t in triples), dtype=np.int64, count=len(triples)
-            )
-            dst = np.fromiter(
-                (t[1] for t in triples), dtype=np.int64, count=len(triples)
-            )
-            payloads = [t[2] for t in triples]
-
+        src, dst, payloads = parse_sends(sends, src_arr, dst_arr)
         self._validate(label, src, dst)
         self.trace.append(label, src, dst)
 
@@ -116,6 +100,15 @@ class Machine:
             mem = self.mem
             for d, t in zip(dst.tolist(), payloads):
                 mem[d].inbox.append(t)
+
+    def run(self, schedule: Schedule) -> "Machine":
+        """Execute a compiled :class:`Schedule` on this machine.
+
+        Equivalent to replaying every superstep through
+        :meth:`superstep`, but validated and recorded in whole-array
+        passes; see :func:`execute`.
+        """
+        return execute(schedule, machine=self, check=self.check)
 
     def _validate(self, label: int, src: np.ndarray, dst: np.ndarray) -> None:
         if not (0 <= label < max(1, self.logv)):
@@ -180,3 +173,53 @@ class Machine:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Machine(v={self.v}, supersteps={self.trace.num_supersteps})"
+
+
+def execute(
+    schedule: Schedule,
+    *,
+    machine: Machine | None = None,
+    deliver: bool = False,
+    check: bool = True,
+) -> Machine:
+    """Execute a compiled schedule in one vectorised pass.
+
+    The "execute" half of the compile/execute split: validation runs as
+    whole-array bit-shift masks (one pass for the entire schedule), the
+    trace is installed columnar, and payloads are delivered only when the
+    machine delivers *and* the schedule carries a payload callback —
+    metric-only runs never touch per-message Python objects.
+
+    Parameters
+    ----------
+    schedule:
+        The compiled :class:`~repro.machine.program.Schedule`.
+    machine:
+        Run on an existing machine (its trace is extended); default is a
+        fresh ``Machine(schedule.v, deliver=deliver)``.
+    deliver / check:
+        Payload delivery and validation switches for the fresh machine;
+        an explicit ``machine`` keeps its own ``deliver`` setting.
+    """
+    if machine is None:
+        machine = Machine(schedule.v, deliver=deliver, check=check)
+        # Zero-copy install: the schedule *is* the trace's columnar image
+        # (validated through the trace, which marks it fold-ready).
+        machine.trace = schedule.to_trace(validate=check)
+    else:
+        if machine.v != schedule.v:
+            raise ValueError(
+                f"schedule for M({schedule.v}) cannot run on Machine(v={machine.v})"
+            )
+        if check:
+            schedule.validate()
+        machine.trace.extend_columns(
+            schedule.labels, schedule.offsets, schedule.src, schedule.dst
+        )
+    if machine.deliver and schedule.payload is not None:
+        mem = machine.mem
+        for s in range(schedule.num_supersteps):
+            _, _, dst = schedule.superstep(s)
+            for d, t in zip(dst.tolist(), schedule.payload(s)):
+                mem[d].inbox.append(t)
+    return machine

@@ -7,7 +7,9 @@ users ship reference traces with their papers.
 
 Format: one compressed ``.npz`` with ``v``, per-superstep ``labels``, the
 concatenated ``src``/``dst`` arrays and the ``offsets`` splitting them —
-stable, byte-portable, loadable with plain numpy.
+exactly the in-memory columnar layout (:class:`~repro.machine.trace.
+TraceColumns`), so saving is a direct dump and loading rebuilds the trace
+zero-copy.  Stable, byte-portable, loadable with plain numpy.
 """
 
 from __future__ import annotations
@@ -26,28 +28,15 @@ _FORMAT_VERSION = 1
 def save_trace(trace: Trace, path) -> None:
     """Write ``trace`` to ``path`` (``.npz``, compressed)."""
     path = Path(path)
-    labels = np.array([r.label for r in trace.records], dtype=np.int64)
-    counts = np.array([r.num_messages for r in trace.records], dtype=np.int64)
-    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    src = (
-        np.concatenate([r.src for r in trace.records])
-        if trace.records
-        else np.empty(0, np.int64)
-    )
-    dst = (
-        np.concatenate([r.dst for r in trace.records])
-        if trace.records
-        else np.empty(0, np.int64)
-    )
+    cols = trace.columns()
     np.savez_compressed(
         path,
         format_version=np.int64(_FORMAT_VERSION),
         v=np.int64(trace.v),
-        labels=labels,
-        offsets=offsets,
-        src=src,
-        dst=dst,
+        labels=cols.labels,
+        offsets=cols.offsets,
+        src=cols.src,
+        dst=cols.dst,
     )
 
 
@@ -65,9 +54,6 @@ def load_trace(path) -> Trace:
         offsets = data["offsets"]
         src = data["src"]
         dst = data["dst"]
-    trace = Trace(v)
-    for i, label in enumerate(labels):
-        lo, hi = offsets[i], offsets[i + 1]
-        trace.append(int(label), src[lo:hi], dst[lo:hi])
+    trace = Trace.from_columns(v, labels, offsets, src, dst)
     trace.validate()
     return trace

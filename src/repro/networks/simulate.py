@@ -27,7 +27,11 @@ __all__ = ["routed_time", "compare_with_dbsp", "NetworkComparison"]
 
 
 def routed_time(trace: Trace, topo: Topology) -> float:
-    """Total routed time of ``trace`` folded onto the topology's p."""
+    """Total routed time of ``trace`` folded onto the topology's p.
+
+    Routing is inherently per-superstep; the records view yields
+    zero-copy endpoint slices of the folded columnar trace.
+    """
     folded = fold_trace(trace, topo.p, keep_empty=True)
     return float(
         sum(superstep_time(topo, rec.src, rec.dst).time for rec in folded.records)

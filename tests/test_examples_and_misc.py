@@ -5,6 +5,7 @@ on reduced sizes without error (their internal asserts check correctness
 against reference implementations).
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -15,6 +16,7 @@ import pytest
 from repro.util.validation import check_power_of_two, check_range
 
 EXAMPLES = Path(__file__).parent.parent / "examples"
+SRC = Path(__file__).parent.parent / "src"
 
 
 class TestValidationHelpers:
@@ -43,11 +45,16 @@ class TestValidationHelpers:
     ],
 )
 def test_example_runs(script, args):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / script), *args],
         capture_output=True,
         text=True,
         timeout=240,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "examples must narrate their output"

@@ -1,0 +1,156 @@
+"""Property tests: columnar folding kernels == per-record references.
+
+The vectorised ``fold_degrees``/``F_vector``/``S_vector``/``fold_trace``/
+``fold_message_counts`` must be *bit-identical* to the original
+record-by-record implementations (kept as ``*_reference``) on arbitrary
+legal traces — this is the contract that lets every downstream metric
+switch to the fast kernels without re-deriving anything.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.folding import (
+    F_vector,
+    F_vector_reference,
+    S_vector,
+    S_vector_reference,
+    clear_fold_cache,
+    fold_degrees,
+    fold_degrees_reference,
+    fold_message_counts,
+    fold_message_counts_reference,
+    fold_trace,
+    fold_trace_reference,
+)
+from repro.machine.trace import Trace
+
+from conftest import all_folds, random_trace
+
+traces = st.builds(
+    lambda seed, logv, steps: random_trace(
+        1 << logv, steps, np.random.default_rng(seed)
+    ),
+    seed=st.integers(0, 2**31),
+    logv=st.integers(0, 7),
+    steps=st.integers(0, 12),
+)
+
+
+def _folds(v: int):
+    return [1] + all_folds(v)
+
+
+class TestKernelsMatchReference:
+    @given(traces)
+    @settings(max_examples=60, deadline=None)
+    def test_fold_degrees(self, t):
+        for p in _folds(t.v):
+            assert np.array_equal(fold_degrees(t, p), fold_degrees_reference(t, p))
+
+    @given(traces)
+    @settings(max_examples=60, deadline=None)
+    def test_F_and_S_vectors(self, t):
+        for p in _folds(t.v):
+            assert np.array_equal(F_vector(t, p), F_vector_reference(t, p))
+            assert np.array_equal(S_vector(t, p), S_vector_reference(t, p))
+
+    @given(traces)
+    @settings(max_examples=60, deadline=None)
+    def test_fold_message_counts(self, t):
+        for p in _folds(t.v):
+            assert np.array_equal(
+                fold_message_counts(t, p), fold_message_counts_reference(t, p)
+            )
+
+    @given(traces, st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_fold_trace(self, t, keep_empty):
+        for p in _folds(t.v):
+            got = fold_trace(t, p, keep_empty=keep_empty)
+            ref = fold_trace_reference(t, p, keep_empty=keep_empty)
+            assert got.v == ref.v
+            assert got.num_supersteps == ref.num_supersteps
+            for rg, rr in zip(got.records, ref.records):
+                assert rg.label == rr.label
+                assert np.array_equal(rg.src, rr.src)
+                assert np.array_equal(rg.dst, rr.dst)
+
+    def test_sparse_grid_path(self):
+        """Force the sort-based group-by branch (huge S*p, few messages)."""
+        v = 1 << 12
+        t = Trace(v)
+        rng = np.random.default_rng(7)
+        for _ in range(600):
+            t.append(0, rng.integers(0, v, 3), rng.integers(0, v, 3))
+        p = v  # S * p = 600 * 4096 >> 4 * messages
+        assert np.array_equal(fold_degrees(t, p), fold_degrees_reference(t, p))
+
+
+class TestFoldCache:
+    def test_cache_returns_consistent_results(self, rng):
+        clear_fold_cache()
+        t = random_trace(16, 6, rng)
+        first = fold_degrees(t, 4)
+        assert fold_degrees(t, 4) is first  # memoised
+        # fold_trace shares cached columns but wraps them in a fresh Trace,
+        # so caller-side appends cannot poison the cache.
+        a, b = fold_trace(t, 4), fold_trace(t, 4)
+        assert a is not b
+        assert a.columns().src is b.columns().src
+        a.append(0, np.array([0]), np.array([1]))
+        assert fold_trace(t, 4).num_supersteps == b.num_supersteps
+
+    def test_cached_results_are_read_only(self, rng):
+        t = random_trace(16, 5, rng)
+        import pytest
+
+        for arr in (fold_degrees(t, 8), F_vector(t, 8), fold_trace(t, 8).columns().src):
+            with pytest.raises(ValueError):
+                arr[:] = 0  # shared cache entries must not be mutable
+
+    def test_cluster_illegal_trace_rejected(self):
+        import pytest
+
+        t = Trace(8)
+        t.append(1, np.array([0]), np.array([4]))  # crosses its 1-cluster
+        with pytest.raises(ValueError, match="cluster-illegal"):
+            fold_degrees(t, 2)
+
+    def test_mutation_invalidates(self, rng):
+        t = random_trace(16, 4, rng)
+        before = F_vector(t, 16).copy()
+        t.append(0, np.array([0] * 5), np.array([8] * 5))
+        after = F_vector(t, 16)
+        assert after.sum() > before.sum()
+        assert np.array_equal(after, F_vector_reference(t, 16))
+
+    def test_distinct_traces_not_conflated(self, rng):
+        a = random_trace(16, 5, rng)
+        b = random_trace(16, 5, rng)
+        assert np.array_equal(fold_degrees(a, 8), fold_degrees_reference(a, 8))
+        assert np.array_equal(fold_degrees(b, 8), fold_degrees_reference(b, 8))
+
+
+class TestScheduleExecutionMatchesInteractive:
+    """Schedule-based execution is bit-identical to per-superstep driving."""
+
+    @given(traces)
+    @settings(max_examples=40, deadline=None)
+    def test_replay(self, t):
+        from repro.machine.engine import Machine, execute
+        from repro.machine.program import ScheduleBuilder
+
+        interactive = Machine(t.v, deliver=False)
+        builder = ScheduleBuilder(t.v)
+        for rec in t.records:
+            interactive.superstep(rec.label, (), src_arr=rec.src, dst_arr=rec.dst)
+            builder.superstep(rec.label, (), src_arr=rec.src, dst_arr=rec.dst)
+        compiled = execute(builder.build())
+        ca = interactive.trace.columns()
+        cb = compiled.trace.columns()
+        assert np.array_equal(ca.labels, cb.labels)
+        assert np.array_equal(ca.offsets, cb.offsets)
+        assert np.array_equal(ca.src, cb.src)
+        assert np.array_equal(ca.dst, cb.dst)

@@ -1,0 +1,187 @@
+"""Unit tests for the columnar Schedule IR and the compile/execute split."""
+
+import numpy as np
+import pytest
+
+from repro.machine.engine import ClusterViolation, Machine, execute
+from repro.machine.program import Schedule, ScheduleBuilder, compile_schedule
+from repro.machine.trace import Trace
+
+from conftest import random_trace
+
+
+def _trace_columns_equal(a: Trace, b: Trace) -> bool:
+    ca, cb = a.columns(), b.columns()
+    return (
+        a.v == b.v
+        and np.array_equal(ca.labels, cb.labels)
+        and np.array_equal(ca.offsets, cb.offsets)
+        and np.array_equal(ca.src, cb.src)
+        and np.array_equal(ca.dst, cb.dst)
+    )
+
+
+class TestBuilder:
+    def test_columnar_shape(self):
+        b = ScheduleBuilder(8)
+        b.superstep(0, (), src_arr=np.array([0, 1]), dst_arr=np.array([4, 5]))
+        b.superstep(1, (), src_arr=np.array([0]), dst_arr=np.array([3]))
+        b.add_superstep(2, np.empty(0, np.int64), np.empty(0, np.int64))
+        s = b.build()
+        assert s.num_supersteps == 3
+        assert s.num_messages == 3
+        assert np.array_equal(s.labels, [0, 1, 2])
+        assert np.array_equal(s.offsets, [0, 2, 3, 3])
+        assert np.array_equal(s.counts, [2, 1, 0])
+        label, src, dst = s.superstep(1)
+        assert label == 1
+        assert np.array_equal(src, [0]) and np.array_equal(dst, [3])
+
+    def test_machine_signature_compatible(self):
+        """The same director code drives a Machine or a builder identically."""
+
+        def drive(target):
+            target.superstep(0, [(0, 7, "x"), (7, 0, "y")])
+            target.superstep(1, (), src_arr=np.array([0, 4]), dst_arr=np.array([3, 7]))
+
+        m = Machine(8, deliver=False)
+        drive(m)
+        b = ScheduleBuilder(8)
+        drive(b)
+        assert _trace_columns_equal(m.trace, execute(b.build()).trace)
+
+    def test_mismatched_arrays_rejected(self):
+        b = ScheduleBuilder(4)
+        with pytest.raises(ValueError):
+            b.superstep(0, (), src_arr=np.array([0]), dst_arr=None)
+        with pytest.raises(ValueError):
+            b.superstep(0, (), src_arr=np.array([0, 1]), dst_arr=np.array([2]))
+
+    def test_compile_schedule_helper(self):
+        s = compile_schedule(
+            4, lambda b: b.add_superstep(0, np.array([0]), np.array([3]))
+        )
+        assert isinstance(s, Schedule)
+        assert s.num_messages == 1
+
+
+class TestValidation:
+    def test_cluster_violation(self):
+        b = ScheduleBuilder(8)
+        b.add_superstep(1, np.array([0]), np.array([4]))  # crosses the halves
+        with pytest.raises(ClusterViolation):
+            b.build().validate()
+
+    def test_label_out_of_range(self):
+        b = ScheduleBuilder(8)
+        b.add_superstep(3, np.empty(0, np.int64), np.empty(0, np.int64))
+        with pytest.raises(ValueError):
+            b.build().validate()
+
+    def test_endpoint_out_of_range(self):
+        b = ScheduleBuilder(8)
+        b.add_superstep(0, np.array([0]), np.array([8]))
+        with pytest.raises(ValueError):
+            b.build().validate()
+
+    def test_valid_schedule_passes(self, rng):
+        t = random_trace(16, 10, rng)
+        cols = t.columns()
+        Schedule(16, cols.labels, cols.offsets, cols.src, cols.dst).validate()
+
+
+class TestExecute:
+    def test_execute_records_trace(self, rng):
+        t = random_trace(16, 8, rng)
+        cols = t.columns()
+        s = Schedule(16, cols.labels, cols.offsets, cols.src, cols.dst)
+        m = execute(s)
+        assert _trace_columns_equal(m.trace, t)
+
+    def test_execute_on_existing_machine_extends(self):
+        m = Machine(8, deliver=False)
+        m.superstep(0, [(0, 1, None)])
+        b = ScheduleBuilder(8)
+        b.add_superstep(0, np.array([2]), np.array([3]))
+        m.run(b.build())
+        assert m.trace.num_supersteps == 2
+        assert m.trace.total_messages == 2
+
+    def test_execute_wrong_v_rejected(self):
+        b = ScheduleBuilder(8)
+        with pytest.raises(ValueError):
+            execute(b.build(), machine=Machine(4))
+
+    def test_execute_checks_by_default(self):
+        b = ScheduleBuilder(8)
+        b.add_superstep(2, np.array([0]), np.array([4]))
+        with pytest.raises(ClusterViolation):
+            execute(b.build())
+        # check=False skips validation entirely (caller-asserted schedules).
+        m = execute(b.build(), check=False)
+        assert m.trace.total_messages == 1
+
+    def test_payload_delivery(self):
+        b = ScheduleBuilder(4)
+        b.superstep(0, [(0, 1, "a"), (2, 1, "b"), (3, 3, "self")])
+        s = b.build()
+        # Metric-only execution never touches payloads.
+        m = execute(s)
+        assert m.mem[1].peek() == []
+        # Value-level execution delivers them.
+        m = execute(s, deliver=True)
+        assert sorted(m.mem[1].peek()) == ["a", "b"]
+        assert m.mem[3].peek() == ["self"]
+
+    def test_to_trace_matches_execute(self, rng):
+        t = random_trace(8, 5, rng)
+        cols = t.columns()
+        s = Schedule(8, cols.labels, cols.offsets, cols.src, cols.dst)
+        assert _trace_columns_equal(s.to_trace(validate=True), execute(s).trace)
+
+
+class TestConcat:
+    def test_concat(self):
+        parts = []
+        for lab in (0, 1):
+            b = ScheduleBuilder(8)
+            b.add_superstep(lab, np.array([0]), np.array([1]))
+            parts.append(b.build())
+        s = Schedule.concat(parts)
+        assert s.num_supersteps == 2
+        assert np.array_equal(s.labels, [0, 1])
+        assert s.num_messages == 2
+
+    def test_concat_mixed_v_rejected(self):
+        a = ScheduleBuilder(8).build()
+        b = ScheduleBuilder(4).build()
+        with pytest.raises(ValueError):
+            Schedule.concat([a, b])
+
+
+class TestAlgorithmsEmitSchedules:
+    """Every Section-4 algorithm now returns its compiled IR."""
+
+    def test_matmul_schedule_consistent(self):
+        from repro.algorithms import matmul
+
+        rng = np.random.default_rng(0)
+        res = matmul.run(rng.random((4, 4)), rng.random((4, 4)))
+        assert isinstance(res.schedule, Schedule)
+        assert res.schedule.num_supersteps == res.supersteps
+        assert res.schedule.num_messages == res.messages
+        assert _trace_columns_equal(res.schedule.to_trace(), res.trace)
+
+    def test_fft_schedule_consistent(self):
+        from repro.algorithms import fft
+
+        res = fft.run(np.arange(16, dtype=complex))
+        assert isinstance(res.schedule, Schedule)
+        assert _trace_columns_equal(res.schedule.to_trace(), res.trace)
+
+    def test_schedule_reexecution_is_deterministic(self):
+        from repro.algorithms import sorting
+
+        keys = np.random.default_rng(1).permutation(64).astype(float)
+        res = sorting.run(keys)
+        assert _trace_columns_equal(execute(res.schedule).trace, res.trace)
