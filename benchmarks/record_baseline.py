@@ -25,13 +25,17 @@ BENCH_DIR = Path(__file__).parent
 REPO_ROOT = BENCH_DIR.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_baseline.json"
 
-#: bench module -> short name; each must expose ``run_sweep()``.
-WORKLOADS = {
-    "bench_e01_folding_lemma": "e01_folding_lemma",
-    "bench_e03_matmul": "e03_matmul",
-    "bench_e05_fft": "e05_fft",
-    "bench_e16_fold_kernels": "e16_fold_kernels",
-}
+#: (bench module, workload function, short name) — one timed entry each.
+#: e17 records both routing paths so the vectorized/reference ratio of the
+#: columnar routing engine lands in the baseline file.
+WORKLOADS = [
+    ("bench_e01_folding_lemma", "run_sweep", "e01_folding_lemma"),
+    ("bench_e03_matmul", "run_sweep", "e03_matmul"),
+    ("bench_e05_fft", "run_sweep", "e05_fft"),
+    ("bench_e16_fold_kernels", "run_sweep", "e16_fold_kernels"),
+    ("bench_e17_routing_kernels", "run_sweep", "e17_routing_vectorized"),
+    ("bench_e17_routing_kernels", "run_sweep_reference", "e17_routing_reference"),
+]
 
 
 def _load(module_name: str):
@@ -45,13 +49,16 @@ def _load(module_name: str):
 
 def time_workloads(repeats: int) -> dict[str, float]:
     sys.path.insert(0, str(BENCH_DIR))
+    mods: dict[str, object] = {}
     out = {}
-    for module_name, short in WORKLOADS.items():
-        mod = _load(module_name)
+    for module_name, func, short in WORKLOADS:
+        if module_name not in mods:
+            mods[module_name] = _load(module_name)
+        workload = getattr(mods[module_name], func)
         best = float("inf")
         for _ in range(repeats):
             t0 = time.perf_counter()
-            mod.run_sweep()
+            workload()
             best = min(best, time.perf_counter() - t0)
         out[short] = round(best, 4)
         print(f"{short}: {best:.3f}s")
@@ -81,6 +88,12 @@ def main() -> None:
             for k in before
             if k in after and after[k] > 0
         }
+    # The routing engine's own before/after lives inside one recording:
+    # the reference path *is* the pre-engine per-message implementation.
+    sec = data[args.tag]["seconds"]
+    vec, ref = sec.get("e17_routing_vectorized"), sec.get("e17_routing_reference")
+    if vec and ref:
+        data["e17_routing_speedup_vectorized_vs_reference"] = round(ref / vec, 2)
     BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
 

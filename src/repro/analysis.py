@@ -25,6 +25,7 @@ from repro.core.metrics import TraceMetrics
 from repro.core.wiseness import measured_alpha
 from repro.machine.trace import Trace
 from repro.models.presets import PRESETS
+from repro.networks import RoutingPolicy, by_name, by_policy, fit, route_trace
 from repro.util.intmath import ilog2
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "d_sweep",
     "optimality_sweep",
     "wiseness_report",
+    "network_sweep",
     "default_fold_grid",
 ]
 
@@ -142,6 +144,49 @@ def optimality_sweep(
         tuple(tm.H(p, s) / lower_bound(n, p, s) for s in sigmas) for p in ps
     )
     return SweepTable(name, tuple(ps), tuple(sigmas), rows)
+
+
+def network_sweep(
+    trace: Trace | TraceMetrics,
+    ps: Sequence[int] | None = None,
+    topologies: Sequence[str] = ("ring", "mesh2d", "torus2d", "hypercube", "fat-tree", "butterfly"),
+    policies: Sequence[str | RoutingPolicy] = ("dimension-order",),
+    *,
+    seed: int = 0,
+    relative_to_dbsp: bool = False,
+    name: str | None = None,
+) -> SweepTable:
+    """Whole-trace network sweep: routed time on a topology x policy x p grid.
+
+    One row per processor count, one ``"topology/policy"`` column per
+    combination; each cell routes the entire folded trace through the
+    columnar engine (memoised ``RoutedProfile``, so repeated sweeps over
+    one trace are nearly free).  With ``relative_to_dbsp`` the cells
+    become routed-time / fitted-D-BSP-prediction ratios — the E11
+    validity band across the whole grid.
+    """
+    tm = metrics_of(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(tm.v)
+    resolved = [
+        p if isinstance(p, RoutingPolicy) else by_policy(p, seed) for p in policies
+    ]
+    cols = tuple(f"{t}/{pol.name}" for t in topologies for pol in resolved)
+    rows = []
+    for p in ps:
+        row = []
+        for t in topologies:
+            topo = by_name(t, p)
+            # The D-BSP denominator depends only on (trace, topology).
+            denom = tm.D_machine(fit(topo)) if relative_to_dbsp else None
+            for pol in resolved:
+                routed = route_trace(tm.trace, topo, pol).total_time
+                if relative_to_dbsp:
+                    routed = routed / denom if denom else float("inf")
+                row.append(routed)
+        rows.append(tuple(row))
+    if name is None:
+        name = "routed / D-BSP predicted" if relative_to_dbsp else "routed time"
+    return SweepTable(name, tuple(ps), cols, tuple(rows))
 
 
 def wiseness_report(

@@ -9,18 +9,47 @@ Maggs & Rao).  We charge::
 
 which is the standard proxy the D-BSP parameters compress into
 ``h * g_i + ell_i``: congestion tracks ``h * g_i`` (bandwidth), dilation
-tracks ``ell_i`` (latency), the +1 the barrier.
+tracks ``ell_i`` (latency), the +1 the barrier.  Multi-phase policies
+(:class:`~repro.networks.policy.ValiantPolicy`) sum congestion and
+dilation over their phases and still pay one barrier.
+
+Whole traces are routed by :func:`route_trace`: one pass over the folded
+trace's columnar superstep ranges (no per-record objects), batching each
+superstep's endpoints through the topology's vectorised router, with the
+resulting :class:`RoutedProfile` memoised exactly like the fold kernels
+— keyed by (trace identity+version, topology, policy), since network
+sweeps route the same trace on many machines.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.machine.folding import fold_trace
+from repro.machine.trace import Trace
+from repro.networks.policy import DimensionOrderPolicy, RoutingPolicy
 from repro.networks.topology import Topology
 
-__all__ = ["superstep_time", "RoutedCost"]
+__all__ = [
+    "superstep_time",
+    "RoutedCost",
+    "RoutedProfile",
+    "route_trace",
+    "clear_route_cache",
+]
+
+_DIRECT = DimensionOrderPolicy()
+
+_CACHE_MAX = 256
+_cache: OrderedDict[tuple, "RoutedProfile"] = OrderedDict()
+
+
+def clear_route_cache() -> None:
+    """Drop memoised routed profiles (mainly for tests and benchmarks)."""
+    _cache.clear()
 
 
 @dataclass(frozen=True)
@@ -30,15 +59,152 @@ class RoutedCost:
     time: float
 
 
-def superstep_time(topo: Topology, src: np.ndarray, dst: np.ndarray) -> RoutedCost:
-    """Routed time of one superstep's messages on ``topo``."""
+@dataclass(frozen=True)
+class RoutedProfile:
+    """Columnar routing record of one folded trace on one topology.
+
+    Parallel per-superstep arrays: ``congestion[s]`` is the bottleneck
+    ``load/capacity`` (summed over policy phases), ``dilation[s]`` the
+    longest path, ``time[s] = congestion[s] + dilation[s] + 1`` (the +1
+    is the barrier — an empty superstep still costs exactly 1).
+    """
+
+    topology: str
+    policy: str
+    p: int
+    labels: np.ndarray
+    congestion: np.ndarray
+    dilation: np.ndarray
+    time: np.ndarray
+
+    @property
+    def num_supersteps(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def total_time(self) -> float:
+        return float(self.time.sum())
+
+    @property
+    def max_congestion(self) -> float:
+        return float(self.congestion.max(initial=0.0))
+
+    @property
+    def max_dilation(self) -> int:
+        return int(self.dilation.max(initial=0))
+
+    def superstep(self, s: int) -> RoutedCost:
+        """The classic per-superstep cost triple (compatibility view)."""
+        return RoutedCost(
+            float(self.congestion[s]), int(self.dilation[s]), float(self.time[s])
+        )
+
+
+def superstep_time(
+    topo: Topology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    policy: RoutingPolicy | None = None,
+    *,
+    step: int = 0,
+    label: int = 0,
+) -> RoutedCost:
+    """Routed time of one superstep's messages on ``topo``.
+
+    When passing a policy for a *folded i-superstep*, supply ``step`` and
+    ``label``: the defaults describe a lone global (label-0) superstep,
+    under which :class:`~repro.networks.policy.ValiantPolicy` draws its
+    intermediates machine-wide — correct for label 0, cluster-violating
+    for finer labels.  :func:`route_trace` passes the true per-superstep
+    values and is the canonical whole-trace path.
+    """
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
     keep = src != dst
     src, dst = src[keep], dst[keep]
     if src.size == 0:
         return RoutedCost(0.0, 0, 1.0)
-    loads, dil = topo.route_loads(src, dst)
+    congestion, dilation = _route_superstep(
+        topo, policy or _DIRECT, step, label, src, dst
+    )
+    return RoutedCost(congestion, dilation, congestion + dilation + 1.0)
+
+
+def _route_superstep(
+    topo: Topology,
+    policy: RoutingPolicy,
+    step: int,
+    label: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+) -> tuple[float, int]:
+    """(congestion, dilation) of one non-empty superstep, summed over phases."""
     caps = topo.edge_capacities()
-    congestion = float((loads / caps).max())
-    return RoutedCost(congestion, dil, congestion + dil + 1.0)
+    congestion, dilation = 0.0, 0
+    for ph_src, ph_dst in policy.phases(topo, step, label, src, dst):
+        cross = ph_src != ph_dst  # policy legs may introduce self-messages
+        if not cross.all():
+            ph_src, ph_dst = ph_src[cross], ph_dst[cross]
+        if ph_src.size == 0:
+            continue
+        loads, dil = topo.route_loads(ph_src, ph_dst)
+        congestion += float((loads / caps).max())
+        dilation += int(dil)
+    return congestion, dilation
+
+
+def route_trace(
+    trace: Trace, topo: Topology, policy: RoutingPolicy | None = None
+) -> RoutedProfile:
+    """Route an entire trace, folded onto ``topo.p``, in one columnar pass.
+
+    The fold (``keep_empty=True`` — surviving supersteps that lost all
+    their messages still cost a barrier) comes from the memoised folding
+    kernels; each superstep's endpoint range is then sliced straight out
+    of the folded columns and routed as one batch.  Empty supersteps take
+    a fast path: barrier-only cost, no kernel call.  The profile is
+    memoised per (trace, topology, policy); cached arrays are read-only.
+    """
+    policy = policy or _DIRECT
+    token = getattr(trace, "cache_token", None)
+    key = None
+    if token is not None:
+        key = (token, topo.name, topo.p, policy.cache_key())
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            return cached
+
+    folded = fold_trace(trace, topo.p, keep_empty=True)
+    cols = folded.columns()
+    S = cols.num_supersteps
+    congestion = np.zeros(S)
+    dilation = np.zeros(S, dtype=np.int64)
+    time = np.ones(S)  # barrier-only default: the empty fast path
+    offsets, src, dst = cols.offsets, cols.src, cols.dst
+    for s in range(S):
+        lo, hi = int(offsets[s]), int(offsets[s + 1])
+        if hi == lo:
+            continue  # folded supersteps carry no self-messages
+        c, d = _route_superstep(
+            topo, policy, s, int(cols.labels[s]), src[lo:hi], dst[lo:hi]
+        )
+        congestion[s] = c
+        dilation[s] = d
+        time[s] = c + d + 1.0
+    for arr in (congestion, dilation, time):
+        arr.setflags(write=False)
+    profile = RoutedProfile(
+        topology=topo.name,
+        policy=policy.name,
+        p=topo.p,
+        labels=cols.labels,
+        congestion=congestion,
+        dilation=dilation,
+        time=time,
+    )
+    if key is not None:
+        _cache[key] = profile
+        if len(_cache) > _CACHE_MAX:
+            _cache.popitem(last=False)
+    return profile

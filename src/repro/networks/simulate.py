@@ -8,34 +8,32 @@ same topology.  A ratio that stays within a modest constant across
 algorithms and machine sizes is the empirical content of "D-BSP describes
 point-to-point networks reasonably well" (Bilardi et al. '99), which the
 paper leans on to motivate its execution model.
+
+Both entry points ride the memoised columnar
+:class:`~repro.networks.routing.RoutedProfile` — one whole-trace pass
+over the folded superstep ranges, optionally under a non-default
+:class:`~repro.networks.policy.RoutingPolicy`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.metrics import TraceMetrics
-from repro.machine.folding import fold_trace
 from repro.machine.trace import Trace
 from repro.networks.dbsp_fit import fit
-from repro.networks.routing import superstep_time
+from repro.networks.policy import RoutingPolicy
+from repro.networks.routing import route_trace
 from repro.networks.topology import Topology
 
 __all__ = ["routed_time", "compare_with_dbsp", "NetworkComparison"]
 
 
-def routed_time(trace: Trace, topo: Topology) -> float:
-    """Total routed time of ``trace`` folded onto the topology's p.
-
-    Routing is inherently per-superstep; the records view yields
-    zero-copy endpoint slices of the folded columnar trace.
-    """
-    folded = fold_trace(trace, topo.p, keep_empty=True)
-    return float(
-        sum(superstep_time(topo, rec.src, rec.dst).time for rec in folded.records)
-    )
+def routed_time(
+    trace: Trace, topo: Topology, policy: RoutingPolicy | None = None
+) -> float:
+    """Total routed time of ``trace`` folded onto the topology's p."""
+    return route_trace(trace, topo, policy).total_time
 
 
 @dataclass(frozen=True)
@@ -44,19 +42,24 @@ class NetworkComparison:
     p: int
     routed: float
     dbsp_predicted: float
+    policy: str = "dimension-order"
 
     @property
     def ratio(self) -> float:
         return self.routed / self.dbsp_predicted if self.dbsp_predicted else float("inf")
 
 
-def compare_with_dbsp(trace: Trace, topo: Topology) -> NetworkComparison:
+def compare_with_dbsp(
+    trace: Trace, topo: Topology, policy: RoutingPolicy | None = None
+) -> NetworkComparison:
     """Routed total vs. the fitted-D-BSP prediction for one trace."""
     machine = fit(topo)
     predicted = TraceMetrics(trace).D_machine(machine)
+    profile = route_trace(trace, topo, policy)
     return NetworkComparison(
         topology=topo.name,
         p=topo.p,
-        routed=routed_time(trace, topo),
+        routed=profile.total_time,
         dbsp_predicted=predicted,
+        policy=profile.policy,
     )

@@ -8,16 +8,35 @@ leading index bits) correspond to good subnetworks:
   contiguous arcs.
 * :class:`Mesh2D` — processors indexed in Morton (Z) order, so every
   i-cluster is an axis-aligned sub-rectangle (square every other level).
+* :class:`Torus2D` — the same Morton grid with wraparound row/column
+  rings; each axis routes the shorter way around.
 * :class:`Hypercube` — processor index = node coordinates; i-clusters
   are subcubes.
 * :class:`FatTree` — a complete binary tree over the processors (at the
   leaves) whose level-d edges carry capacity ``~sqrt(leaves below)``
   (area-universal sizing, Leiserson '85).
+* :class:`Butterfly` — a ``log p``-dimensional butterfly with processors
+  on the rows; a message ascends only through the levels where its
+  endpoints' row bits differ (dimension-order on the bit indices).
 
-Every topology exposes its edge list with capacities and a vectorised
-``route`` producing, for a batch of (src, dst) pairs, the per-edge loads —
-consumed by :mod:`repro.networks.routing` to time h-relations by the
-classic congestion + dilation bound.
+Every topology exposes its edge list with capacities and a **whole-batch
+vectorised** ``route_loads`` producing, for a batch of (src, dst) pairs,
+the per-edge loads — consumed by :mod:`repro.networks.routing` to time
+h-relations by the classic congestion + dilation bound.  The original
+per-message routers are retained verbatim as ``route_loads_reference``
+oracles and property-tested bit-identical to the kernels
+(`tests/test_networks.py`).
+
+Vectorisation strategy: every shipped router moves messages along axis
+runs, so per-edge loads are sums of *interval indicators* over a flat
+edge-id space.  Each interval contributes ``+1`` at its first edge and
+``-1`` one past its last; one ``np.bincount`` per endpoint set plus one
+``np.cumsum`` recovers all loads with no per-message Python iteration
+(the endpoint marks of wrapped ring intervals split in two).  The
+fat-tree instead ascends all heap ancestors level-synchronously, and the
+hypercube/butterfly walk their ``log p`` dimensions with whole-batch
+masks.  Loads are accumulated in ``int64`` and converted to float at the
+end, so they are bit-identical to the references' ``+= 1.0`` sums.
 """
 
 from __future__ import annotations
@@ -29,7 +48,61 @@ import numpy as np
 from repro.util.intmath import ilog2
 from repro.util.morton import morton_decode
 
-__all__ = ["Topology", "Ring", "Mesh2D", "Hypercube", "FatTree", "by_name"]
+__all__ = [
+    "Topology",
+    "Ring",
+    "Mesh2D",
+    "Torus2D",
+    "Hypercube",
+    "FatTree",
+    "Butterfly",
+    "by_name",
+    "TOPOLOGIES",
+]
+
+
+def _bit_length(x: np.ndarray) -> np.ndarray:
+    """Vectorised ``int.bit_length`` for non-negative int64 arrays.
+
+    ``frexp`` returns the exponent ``e`` with ``x = m * 2**e`` and
+    ``0.5 <= m < 1``, which equals the bit length exactly for every
+    integer below 2**53 (and 0 for 0).
+    """
+    return np.frexp(x.astype(np.float64))[1].astype(np.int64)
+
+
+def _interval_loads(
+    starts: np.ndarray, ends: np.ndarray, num_edges: int
+) -> np.ndarray:
+    """Sum of half-open interval indicators ``[starts, ends)`` over edge ids.
+
+    The classic difference-array trick: ``+1`` at each start, ``-1`` at
+    each end, prefix-sum.  ``ends`` may equal ``num_edges`` (the sentinel
+    slot absorbs the mark).  Returns ``int64`` loads.
+    """
+    delta = np.bincount(starts, minlength=num_edges + 1).astype(np.int64)
+    delta -= np.bincount(ends, minlength=num_edges + 1)
+    return np.cumsum(delta[:num_edges])
+
+
+def _ring_runs(
+    start: np.ndarray, length: np.ndarray, base: np.ndarray, ring: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat-id interval marks of ring runs ``[start, start+length) mod ring``.
+
+    Each run lives in the edge-id block ``[base, base + ring)``; wrapped
+    runs split into a tail ``[base+start, base+ring)`` and a head
+    ``[base, base + overflow)``.  Returns ``(starts, ends)`` mark arrays
+    for :func:`_interval_loads`.
+    """
+    stop = start + length
+    wrap = stop > ring
+    starts = base + start
+    ends = base + np.minimum(stop, ring)
+    if wrap.any():
+        starts = np.concatenate([starts, base[wrap]])
+        ends = np.concatenate([ends, base[wrap] + stop[wrap] - ring])
+    return starts, ends
 
 
 @dataclass
@@ -41,16 +114,45 @@ class Topology:
 
     def __post_init__(self) -> None:
         ilog2(self.p)
+        self._caps: np.ndarray | None = None
 
     # Subclasses implement: edge enumeration and path load accounting.
     def num_edges(self) -> int:
         raise NotImplementedError
 
-    def edge_capacities(self) -> np.ndarray:
+    def _compute_edge_capacities(self) -> np.ndarray:
         return np.ones(self.num_edges())
 
+    def edge_capacities(self) -> np.ndarray:
+        """Per-edge capacities (computed once per instance, read-only).
+
+        Routing divides every superstep's loads by this vector, so the
+        cache turns an O(edges) rebuild per superstep into a single
+        precompute per topology instance.
+        """
+        if self._caps is None:
+            caps = self._compute_edge_capacities()
+            caps.setflags(write=False)
+            self._caps = caps
+        return self._caps
+
     def route_loads(self, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, int]:
-        """Per-edge loads and the maximum path length (dilation)."""
+        """Per-edge loads and the maximum path length (dilation), batched."""
+        raise NotImplementedError
+
+    def route_loads_reference(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Per-message oracle for :meth:`route_loads` (bit-identical)."""
+        raise NotImplementedError
+
+    def pair_distance(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Routed path length of each (src, dst) pair (0 for self-messages).
+
+        Load conservation — ``route_loads(src, dst)[0].sum() ==
+        pair_distance(src, dst).sum()`` — is a property-tested invariant
+        of every topology.
+        """
         raise NotImplementedError
 
     def diameter_of_cluster(self, i: int) -> float:
@@ -72,7 +174,27 @@ class Ring(Topology):
     def num_edges(self) -> int:
         return self.p  # edge e connects e -> (e+1) mod p
 
+    def pair_distance(self, src, dst):
+        fwd = (dst - src) % self.p
+        return np.minimum(fwd, (self.p - fwd) % self.p)
+
     def route_loads(self, src, dst):
+        p = self.p
+        if src.size == 0:
+            return np.zeros(p), 0
+        fwd = (dst - src) % p
+        bwd = (src - dst) % p
+        length = np.minimum(fwd, bwd)
+        # Tie at p/2 goes forward, matching the reference router.
+        start = np.where(fwd <= bwd, src, dst)
+        move = length > 0
+        starts, ends = _ring_runs(
+            start[move], length[move], np.zeros(int(move.sum()), np.int64), p
+        )
+        loads = _interval_loads(starts, ends, p).astype(np.float64)
+        return loads, int(length.max(initial=0))
+
+    def route_loads_reference(self, src, dst):
         loads = np.zeros(self.p)
         if src.size == 0:
             return loads, 0
@@ -100,6 +222,17 @@ class Ring(Topology):
         return 1.0  # a path splits across one edge
 
 
+def _morton_rect(m: int) -> tuple[int, int]:
+    """(width, height) of a Morton-contiguous block of ``m`` slots.
+
+    With the row bit above the column bit, the ``log m`` free low bits
+    split into ``ceil/2`` column bits and ``floor/2`` row bits.
+    """
+    k = ilog2(m)
+    w = 1 << ((k + 1) // 2)
+    return w, m // w
+
+
 class Mesh2D(Topology):
     """sqrt(p) x sqrt(p) mesh with Morton processor indexing."""
 
@@ -116,8 +249,34 @@ class Mesh2D(Topology):
         sx = max(self.side, self.side_y)
         return 2 * sx * sx
 
+    def pair_distance(self, src, dst):
+        return np.abs(self.row[src] - self.row[dst]) + np.abs(
+            self.col[src] - self.col[dst]
+        )
+
     def route_loads(self, src, dst):
-        # Dimension-order (column first, then row) routing on the grid.
+        # Dimension-order routing: horizontal along the source row, then
+        # vertical along the destination column — both axis runs are
+        # contiguous intervals of flat edge ids.
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros(E), 0
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        dil = int(np.max(np.abs(r1 - r2) + np.abs(c1 - c2), initial=0))
+        sx = max(self.side, self.side_y)
+        off = sx * sx
+        # Horizontal edge (r, c)-(r, c+1) has id r*sx + c; vertical edge
+        # (r, c)-(r+1, c) has id sx*sx + c*sx + r.
+        hlo, hhi = np.minimum(c1, c2), np.maximum(c1, c2)
+        vlo, vhi = np.minimum(r1, r2), np.maximum(r1, r2)
+        mh = hhi > hlo
+        mv = vhi > vlo
+        starts = np.concatenate([(r1 * sx + hlo)[mh], (off + c2 * sx + vlo)[mv]])
+        ends = np.concatenate([(r1 * sx + hhi)[mh], (off + c2 * sx + vhi)[mv]])
+        return _interval_loads(starts, ends, E).astype(np.float64), dil
+
+    def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
         if src.size == 0:
             return loads, 0
@@ -125,8 +284,6 @@ class Mesh2D(Topology):
         r2, c2 = self.row[dst], self.col[dst]
         dil = int(np.max(np.abs(r1 - r2) + np.abs(c1 - c2), initial=0))
         sx = max(self.side, self.side_y)
-        # Horizontal edge (r, c)-(r, c+1) has id r*sx + c; vertical edge
-        # (r, c)-(r+1, c) has id sx*sx + c*sx + r.
         off = sx * sx
         for a1, b1, a2, b2 in zip(r1, c1, r2, c2):
             lo, hi = (b1, b2) if b1 <= b2 else (b2, b1)
@@ -138,16 +295,117 @@ class Mesh2D(Topology):
         return loads, dil
 
     def diameter_of_cluster(self, i: int) -> float:
-        m = self.p >> i
         # Morton i-clusters are w x h rectangles with w*h = m, w/h in {1,2}.
-        w = 1 << ((ilog2(m) + 1) // 2)
-        h = m // w
+        w, h = _morton_rect(self.p >> i)
         return max(1, (w - 1) + (h - 1))
 
     def bisection_of_cluster(self, i: int) -> float:
         m = self.p >> i
-        w = 1 << ((ilog2(m) + 1) // 2)
+        w, _ = _morton_rect(m)
         return max(1.0, m / w)  # cut across the longer side
+
+
+class Torus2D(Topology):
+    """2-D torus (Morton indexing): per-axis rings, shorter way around.
+
+    Same grid and dimension order as :class:`Mesh2D` — horizontal along
+    the source row, then vertical along the destination column — but
+    each axis run is a ring interval that may wrap.  Edge ids: the
+    horizontal edge (r, c)-(r, (c+1) mod w) is ``r*w + c``; the vertical
+    edge (r, c)-((r+1) mod h, c) is ``p + c*h + r`` — exactly ``2p``
+    edges, all usable.
+    """
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self.name = "torus2d"
+        self.w, self.h = _morton_rect(p)
+        r, c = morton_decode(np.arange(p), self.w)
+        self.row, self.col = r, c
+
+    def num_edges(self) -> int:
+        return 2 * self.p
+
+    def _axis_lengths(self, src, dst):
+        fwd_c = (self.col[dst] - self.col[src]) % self.w
+        fwd_r = (self.row[dst] - self.row[src]) % self.h
+        return (
+            np.minimum(fwd_c, (self.w - fwd_c) % self.w),
+            np.minimum(fwd_r, (self.h - fwd_r) % self.h),
+        )
+
+    def pair_distance(self, src, dst):
+        dc, dr = self._axis_lengths(src, dst)
+        return dc + dr
+
+    def route_loads(self, src, dst):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros(E), 0
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        fwd_c = (c2 - c1) % self.w
+        bwd_c = (c1 - c2) % self.w
+        len_c = np.minimum(fwd_c, bwd_c)
+        fwd_r = (r2 - r1) % self.h
+        bwd_r = (r1 - r2) % self.h
+        len_r = np.minimum(fwd_r, bwd_r)
+        dil = int(np.max(len_c + len_r, initial=0))
+        # Ties go forward, matching Ring (and the reference router).
+        start_c = np.where(fwd_c <= bwd_c, c1, c2)
+        start_r = np.where(fwd_r <= bwd_r, r1, r2)
+        mh = len_c > 0
+        mv = len_r > 0
+        sh, eh = _ring_runs(start_c[mh], len_c[mh], (r1 * self.w)[mh], self.w)
+        sv, ev = _ring_runs(
+            start_r[mv], len_r[mv], (self.p + c2 * self.h)[mv], self.h
+        )
+        loads = _interval_loads(
+            np.concatenate([sh, sv]), np.concatenate([eh, ev]), E
+        )
+        return loads.astype(np.float64), dil
+
+    def route_loads_reference(self, src, dst):
+        loads = np.zeros(self.num_edges())
+        if src.size == 0:
+            return loads, 0
+        dil = 0
+        for s, d in zip(src, dst):
+            r1, c1 = int(self.row[s]), int(self.col[s])
+            r2, c2 = int(self.row[d]), int(self.col[d])
+            hops = 0
+            f, b = (c2 - c1) % self.w, (c1 - c2) % self.w
+            if f <= b:
+                cols = (c1 + np.arange(f)) % self.w
+                hops += f
+            else:
+                cols = (c1 - 1 - np.arange(b)) % self.w
+                hops += b
+            np.add.at(loads, r1 * self.w + cols, 1.0)
+            f, b = (r2 - r1) % self.h, (r1 - r2) % self.h
+            if f <= b:
+                rows = (r1 + np.arange(f)) % self.h
+                hops += f
+            else:
+                rows = (r1 - 1 - np.arange(b)) % self.h
+                hops += b
+            np.add.at(loads, self.p + c2 * self.h + rows, 1.0)
+            dil = max(dil, hops)
+        return loads, dil
+
+    def diameter_of_cluster(self, i: int) -> float:
+        w, h = _morton_rect(self.p >> i)
+        # Wraparound is only usable when the cluster spans the full ring.
+        dx = w // 2 if w == self.w else w - 1
+        dy = h // 2 if h == self.h else h - 1
+        return max(1, dx + dy)
+
+    def bisection_of_cluster(self, i: int) -> float:
+        m = self.p >> i
+        w, h = _morton_rect(m)
+        # Cut across the longer (column) direction: h row-ring edges per
+        # cut line, two lines when the rows are full rings.
+        return max(1.0, h * (2.0 if w == self.w else 1.0))
 
 
 class Hypercube(Topology):
@@ -161,18 +419,35 @@ class Hypercube(Topology):
     def num_edges(self) -> int:
         return self.p * self.dims  # edge id: node * dims + dimension
 
+    def pair_distance(self, src, dst):
+        return np.bitwise_count((src ^ dst).astype(np.uint64)).astype(np.int64)
+
     def route_loads(self, src, dst):
-        loads = np.zeros(self.num_edges())
+        E = self.num_edges()
         if src.size == 0:
-            return loads, 0
+            return np.zeros(E), 0
         diff = src ^ dst
         dil = int(np.max(np.bitwise_count(diff.astype(np.uint64)), initial=0))
+        loads = np.zeros(E, dtype=np.int64)
         cur = src.copy()
         for d in range(self.dims):
             flip = (diff >> d) & 1 == 1
             if flip.any():
-                np.add.at(loads, cur[flip] * self.dims + d, 1.0)
+                loads += np.bincount(cur[flip] * self.dims + d, minlength=E)
                 cur = cur ^ (flip.astype(np.int64) << d)
+        return loads.astype(np.float64), dil
+
+    def route_loads_reference(self, src, dst):
+        loads = np.zeros(self.num_edges())
+        dil = 0
+        for s, d in zip(src, dst):
+            cur, diff, hops = int(s), int(s ^ d), 0
+            for b in range(self.dims):
+                if (diff >> b) & 1:
+                    loads[cur * self.dims + b] += 1.0
+                    cur ^= 1 << b
+                    hops += 1
+            dil = max(dil, hops)
         return loads, dil
 
     def diameter_of_cluster(self, i: int) -> float:
@@ -201,16 +476,46 @@ class FatTree(Topology):
     def _cap(self, child_subtree: int) -> float:
         return max(1.0, child_subtree**0.5)
 
-    def edge_capacities(self) -> np.ndarray:
-        caps = np.ones(self.num_edges())
+    def _compute_edge_capacities(self) -> np.ndarray:
         # Edge id = internal child node id - 1 in heap numbering over
-        # 2p-1 nodes; child at heap depth d roots 2^{height-d} leaves.
-        for node in range(1, 2 * self.p - 1):
-            depth = (node + 1).bit_length() - 1
-            caps[node - 1] = self._cap(self.p >> depth)
+        # 2p-1 nodes; the nodes of heap depth d are the contiguous block
+        # [2^d - 1, 2^{d+1} - 1) and each roots 2^{height-d} leaves.
+        caps = np.ones(self.num_edges())
+        for d in range(1, self.height + 1):
+            lo, hi = (1 << d) - 1, (1 << (d + 1)) - 1
+            caps[lo - 1 : hi - 1] = self._cap(self.p >> d)
         return caps
 
+    def pair_distance(self, src, dst):
+        # Leaves sit at equal depth, so the path climbs to the LCA and
+        # back: 2 * (height - shared msb) = 2 * bit_length(src ^ dst).
+        return 2 * _bit_length(src ^ dst)
+
     def route_loads(self, src, dst):
+        # Level-synchronous heap-ancestor ascent: every round, each
+        # unfinished message charges the edge above its deeper endpoint
+        # and lifts it — at most 2*height whole-batch rounds.
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros(E), 0
+        loads = np.zeros(E, dtype=np.int64)
+        a = src + self.p - 1  # heap ids of the leaves
+        b = dst + self.p - 1
+        dil = 0
+        while True:
+            ne = a != b
+            if not ne.any():
+                break
+            up_a = ne & (a > b)
+            up_b = ne & (a < b)
+            loads += np.bincount(a[up_a] - 1, minlength=E)
+            loads += np.bincount(b[up_b] - 1, minlength=E)
+            a = np.where(up_a, (a - 1) >> 1, a)
+            b = np.where(up_b, (b - 1) >> 1, b)
+            dil += 1
+        return loads.astype(np.float64), dil
+
+    def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
         if src.size == 0:
             return loads, 0
@@ -240,14 +545,88 @@ class FatTree(Topology):
         return self._cap(self.p >> (i + 1))
 
 
+class Butterfly(Topology):
+    """``log p``-dimensional butterfly, processors on the rows.
+
+    Level ``l`` of the network connects rows differing in bit ``l``:
+    the straight edge (l, r)-(l+1, r) has id ``l*p + r`` and the cross
+    edge (l, r)-(l+1, r ^ 2^l) has id ``dims*p + l*p + r``.  A message
+    ascends only through levels ``0 .. bit_length(src ^ dst) - 1`` —
+    straight where the bit agrees, cross where it differs — so its path
+    length is exactly the highest differing bit index + 1, and traffic
+    inside an i-cluster never touches the top ``i`` levels.
+    """
+
+    def __init__(self, p: int):
+        super().__init__(p)
+        self.name = "butterfly"
+        self.dims = ilog2(p)
+
+    def num_edges(self) -> int:
+        return 2 * self.dims * self.p
+
+    def pair_distance(self, src, dst):
+        return _bit_length(src ^ dst)
+
+    def route_loads(self, src, dst):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros(E), 0
+        diff = src ^ dst
+        dil = int(_bit_length(diff).max(initial=0))
+        loads = np.zeros(E, dtype=np.int64)
+        cross_base = self.dims * self.p
+        cur = src.copy()
+        for l in range(dil):
+            active = (diff >> l) != 0  # highest differing bit is >= l
+            cross = active & (((diff >> l) & 1) == 1)
+            straight = active & ~cross
+            if straight.any():
+                loads += np.bincount(l * self.p + cur[straight], minlength=E)
+            if cross.any():
+                loads += np.bincount(
+                    cross_base + l * self.p + cur[cross], minlength=E
+                )
+                cur = cur ^ (cross.astype(np.int64) << l)
+        return loads.astype(np.float64), dil
+
+    def route_loads_reference(self, src, dst):
+        loads = np.zeros(self.num_edges())
+        dil = 0
+        cross_base = self.dims * self.p
+        for s, d in zip(src, dst):
+            cur, diff = int(s), int(s ^ d)
+            hops = diff.bit_length()
+            for l in range(hops):
+                if (diff >> l) & 1:
+                    loads[cross_base + l * self.p + cur] += 1.0
+                    cur ^= 1 << l
+                else:
+                    loads[l * self.p + cur] += 1.0
+            dil = max(dil, hops)
+        return loads, dil
+
+    def diameter_of_cluster(self, i: int) -> float:
+        # Intra-cluster messages differ only in their low dims - i bits.
+        return max(1, self.dims - i)
+
+    def bisection_of_cluster(self, i: int) -> float:
+        return (self.p >> i) / 2.0
+
+
+#: Registry of shipped topologies (name -> constructor).
+TOPOLOGIES = {
+    "ring": Ring,
+    "mesh2d": Mesh2D,
+    "torus2d": Torus2D,
+    "hypercube": Hypercube,
+    "fat-tree": FatTree,
+    "butterfly": Butterfly,
+}
+
+
 def by_name(name: str, p: int) -> Topology:
     """Construct a topology by preset name."""
-    table = {
-        "ring": Ring,
-        "mesh2d": Mesh2D,
-        "hypercube": Hypercube,
-        "fat-tree": FatTree,
-    }
-    if name not in table:
-        raise KeyError(f"unknown topology {name!r}; choose from {sorted(table)}")
-    return table[name](p)
+    if name not in TOPOLOGIES:
+        raise KeyError(f"unknown topology {name!r}; choose from {sorted(TOPOLOGIES)}")
+    return TOPOLOGIES[name](p)
