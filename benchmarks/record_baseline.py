@@ -35,6 +35,9 @@ WORKLOADS = [
     ("bench_e16_fold_kernels", "run_sweep", "e16_fold_kernels"),
     ("bench_e17_routing_kernels", "run_sweep", "e17_routing_vectorized"),
     ("bench_e17_routing_kernels", "run_sweep_reference", "e17_routing_reference"),
+    ("bench_e18_plan_executor", "run_sweep", "e18_plan_serial"),
+    ("bench_e18_plan_executor", "run_sweep_parallel", "e18_plan_workerpool"),
+    ("bench_e18_plan_executor", "run_sweep_legacy", "e18_plan_legacy_loop"),
 ]
 
 
@@ -94,6 +97,16 @@ def main() -> None:
     vec, ref = sec.get("e17_routing_vectorized"), sec.get("e17_routing_reference")
     if vec and ref:
         data["e17_routing_speedup_vectorized_vs_reference"] = round(ref / vec, 2)
+    # E18: the plan executor vs the pre-plan serial loop path (the fused
+    # engine win, hardware-independent), and worker-pool vs serial (this
+    # one reflects however many cores the recording host grants).
+    serial = sec.get("e18_plan_serial")
+    pool = sec.get("e18_plan_workerpool")
+    legacy = sec.get("e18_plan_legacy_loop")
+    if serial and legacy:
+        data["e18_plan_speedup_fused_vs_legacy_serial"] = round(legacy / serial, 2)
+    if serial and pool:
+        data["e18_plan_workerpool_vs_serial"] = round(serial / pool, 2)
     BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
 

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro import TraceMetrics
 from repro.algorithms import fft
-from repro.analysis import network_sweep
+from repro.api import ExperimentPlan
 from repro.baselines import transpose_fft
 from repro.models import fat_tree_dbsp, hypercube_dbsp, mesh_dbsp
 from repro.networks import TOPOLOGIES, by_name, compare_with_dbsp
@@ -66,14 +66,17 @@ def main(n: int = 1024) -> None:
         )
 
     print("\nWhole-trace network sweep — routed time on the full")
-    print("topology x routing-policy x p grid (memoised columnar profiles):")
-    table = network_sweep(
+    print("topology x routing-policy x p grid, as one declarative")
+    print("ExperimentPlan on the worker-pool executor:")
+    plan = ExperimentPlan.from_trace(
         m_obl,
         ps=[4, 16],
         topologies=("ring", "torus2d", "hypercube", "butterfly"),
         policies=("dimension-order", "valiant"),
+        name="routed time",
     )
-    print(table)
+    frame = plan.run(executor="process")
+    print(frame)
 
     print(
         "\nA flat first table is Corollary 4.6 in action; a ratio near 1 in"

@@ -60,6 +60,21 @@ def main() -> None:
         machine = build(p)
         print(f"  {name:>10} {metrics.D_machine(machine):>12.0f}")
 
+    print("\nExperiment API: the same study as one lazy pipeline")
+    from repro.api import run
+
+    row = run("matmul", n=SIDE * SIDE, seed=42).fold(p=16).route(
+        "torus2d", policy="valiant"
+    ).metrics(sigma=4.0)
+    print(
+        f"  run('matmul', n={SIDE * SIDE}).fold(p=16)"
+        ".route('torus2d', policy='valiant').metrics(sigma=4.0)"
+    )
+    print(
+        f"  -> H = {row.H:.0f}, routed time = {row.routed_time:.0f} "
+        f"(congestion {row.max_congestion:.0f}, dilation {row.max_dilation})"
+    )
+
     print(
         "\nSame algorithm, same trace - every machine above was evaluated "
         "after the fact.\nThat is the network-oblivious contract."

@@ -23,18 +23,37 @@ True
 from repro import core, machine, models
 from repro.core import TraceMetrics
 from repro.machine import Machine, Trace
+from repro.machine.folding import fold_trace
 from repro.models import DBSP, EvaluationModel
 
-__version__ = "1.0.0"
+# The subpackages below import the ones above; order matters.
+from repro import algorithms, api, baselines, networks
+from repro import analysis
+from repro.api import ExperimentPlan, Pipeline, ResultFrame
+from repro.api import run as run_pipeline
+from repro.networks import route_trace
+
+__version__ = "1.1.0"
 
 __all__ = [
     "machine",
     "models",
     "core",
+    "algorithms",
+    "baselines",
+    "networks",
+    "analysis",
+    "api",
     "Machine",
     "Trace",
     "TraceMetrics",
     "DBSP",
     "EvaluationModel",
+    "fold_trace",
+    "route_trace",
+    "Pipeline",
+    "ExperimentPlan",
+    "ResultFrame",
+    "run_pipeline",
     "__version__",
 ]

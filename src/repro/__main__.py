@@ -1,0 +1,90 @@
+"""Command-line entry point: ``python -m repro``.
+
+Two subcommands expose the experiment API without writing any Python:
+
+``python -m repro list``
+    Print the registries: algorithms (with kind/section/example sizes),
+    network topologies, routing policies and D-BSP machine presets.
+
+``python -m repro plan experiments.json [--executor process] [--csv out.csv]``
+    Load a declarative :class:`~repro.api.plan.ExperimentPlan` from JSON
+    (either an explicit ``{"cells": [...]}`` list or a ``{"grid": ...}``
+    product spec), run it, print the result frame, and optionally export
+    CSV/JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import ExperimentPlan, specs
+from repro.models import PRESETS
+from repro.networks import POLICIES, TOPOLOGIES
+
+__all__ = ["main"]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    table = sorted(specs().values(), key=lambda s: (s.kind, s.name))
+    width = max(len(s.name) for s in table)
+    print("algorithms (repro.api.algorithms):")
+    for spec in table:
+        sizes = ", ".join(str(n) for n in spec.default_sizes) or "-"
+        print(
+            f"  {spec.name:<{width}}  {spec.kind:<9} {spec.section:<15} "
+            f"n e.g. [{sizes}]  {spec.summary}"
+        )
+    print("\ntopologies (repro.networks.by_name):")
+    print("  " + ", ".join(sorted(TOPOLOGIES)))
+    print("\nrouting policies (repro.networks.by_policy):")
+    print("  " + ", ".join(sorted(POLICIES)))
+    print("\nD-BSP machine presets (repro.models.PRESETS):")
+    print("  " + ", ".join(PRESETS))
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = ExperimentPlan.from_json(args.file)
+    frame = plan.run(executor=args.executor, max_workers=args.workers)
+    print(frame)
+    if args.csv:
+        frame.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.json:
+        frame.to_json(args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Network-oblivious algorithms experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show registered algorithms, topologies, policies")
+
+    plan_p = sub.add_parser("plan", help="run an ExperimentPlan from a JSON file")
+    plan_p.add_argument("file", help="plan JSON ({'cells': [...]} or {'grid': {...}})")
+    plan_p.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="serial",
+        help="cell executor (default: serial)",
+    )
+    plan_p.add_argument(
+        "--workers", type=int, default=None, help="worker-pool size"
+    )
+    plan_p.add_argument("--csv", help="also export the frame as CSV")
+    plan_p.add_argument("--json", help="also export the frame as JSON")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_plan(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

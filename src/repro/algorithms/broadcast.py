@@ -132,3 +132,33 @@ def gap(
         h_star = broadcast_lower_bound(p, s)
         worst = max(worst, metrics.H(p, s) / h_star)
     return worst
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, kappa: int = 2) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"n-broadcast needs power-of-two n >= 2, got n={n}")
+    if kappa < 2 or kappa & (kappa - 1):
+        raise ValueError(f"kappa must be a power of two >= 2, got {kappa}")
+
+
+def _api_emit(n: int, rng, *, kappa: int = 2) -> BroadcastResult:
+    return run(rng.random(n), kappa=kappa)
+
+
+register(
+    AlgorithmSpec(
+        name="broadcast",
+        summary="n-broadcast over a kappa-ary cluster tree",
+        kind="oblivious",
+        section="4.5",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(64, 256, 1024),
+    )
+)

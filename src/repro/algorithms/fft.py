@@ -135,3 +135,31 @@ def run(x: np.ndarray, *, wise: bool = True) -> FFTResult:
     val = x.copy()
     _fft_level(builder, val, np.array([0], dtype=np.int64), n, wise)
     return FFTResult.from_schedule(builder.build(), n, output=val)
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, wise: bool = True) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"n-FFT needs power-of-two n >= 2, got n={n}")
+
+
+def _api_emit(n: int, rng, *, wise: bool = True) -> FFTResult:
+    return run(rng.random(n) + 1j * rng.random(n), wise=wise)
+
+
+register(
+    AlgorithmSpec(
+        name="fft",
+        summary="n-FFT, recursive sqrt-decomposition",
+        kind="oblivious",
+        section="4.2",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(256, 1024, 4096),
+    )
+)

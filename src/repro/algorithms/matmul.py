@@ -243,3 +243,32 @@ def run(
     (c_morton,) = [_solve([root], 0, builder, semiring, wise)[0]]
     product = morton_to_dense(c_morton)
     return MatMulResult.from_schedule(builder.build(), n, product=product)
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api): n is the number of matrix entries, side**2.
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+from repro.util.intmath import square_side  # noqa: E402
+
+
+def _api_check(n: int, *, wise: bool = True) -> None:
+    square_side(n, 4, what="n-MM")
+
+
+def _api_emit(n: int, rng, *, wise: bool = True) -> MatMulResult:
+    side = square_side(n, 4, what="n-MM")
+    return run(rng.random((side, side)), rng.random((side, side)), wise=wise)
+
+
+register(
+    AlgorithmSpec(
+        name="matmul",
+        summary="n-MM, 8-way recursive network-oblivious matrix multiply",
+        kind="oblivious",
+        section="4.1",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(64, 256, 1024),
+    )
+)

@@ -171,3 +171,32 @@ def run(
         product=morton_to_dense(state.c),
         max_entries_per_vp=3,  # working A + working B + C accumulator
     )
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api): n is the number of matrix entries, side**2.
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+from repro.util.intmath import square_side  # noqa: E402
+
+
+def _api_check(n: int, *, wise: bool = True) -> None:
+    square_side(n, 2, what="space-efficient n-MM")
+
+
+def _api_emit(n: int, rng, *, wise: bool = True) -> SpaceMatMulResult:
+    side = square_side(n, 2, what="space-efficient n-MM")
+    return run(rng.random((side, side)), rng.random((side, side)), wise=wise)
+
+
+register(
+    AlgorithmSpec(
+        name="matmul-space",
+        summary="n-MM, space-efficient 4-way/2-round variant (O(1) space/VP)",
+        kind="oblivious",
+        section="4.1.1",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(64, 256, 1024),
+    )
+)

@@ -90,3 +90,31 @@ def run(
     res = PrefixResult.from_schedule(builder.build(), v, output=val)
     res.total = total
     return res
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, inclusive: bool = False) -> None:
+    if n < 1 or n & (n - 1):
+        raise ValueError(f"prefix sums need power-of-two n >= 1, got n={n}")
+
+
+def _api_emit(n: int, rng, *, inclusive: bool = False) -> PrefixResult:
+    return run(rng.random(n), inclusive=inclusive)
+
+
+register(
+    AlgorithmSpec(
+        name="prefix",
+        summary="tree-based prefix sums (Section 5 substrate)",
+        kind="oblivious",
+        section="5",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(64, 256, 1024),
+    )
+)

@@ -170,3 +170,31 @@ def run(keys: np.ndarray, *, wise: bool = True) -> SortResult:
     val = keys.astype(np.float64, copy=True) if keys.dtype.kind in "iu" else keys.copy()
     _sort_level(builder, val, np.array([0], dtype=np.int64), n, wise)
     return SortResult.from_schedule(builder.build(), n, output=val)
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api): distinct keys via a seeded permutation.
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, wise: bool = True) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"n-sort needs power-of-two n >= 2, got n={n}")
+
+
+def _api_emit(n: int, rng, *, wise: bool = True) -> SortResult:
+    return run(rng.permutation(n), wise=wise)
+
+
+register(
+    AlgorithmSpec(
+        name="sort",
+        summary="n-sort, recursive Columnsort",
+        kind="oblivious",
+        section="4.3",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(64, 256, 1024),
+    )
+)

@@ -422,3 +422,31 @@ def evaluate_diamond(
     return DiamondResult.from_schedule(
         builder.build(), n, grid=grid, k=kk, phases_per_level=2 * kk - 1
     )
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api): n cells evaluated for n timesteps.
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, wise: bool = True, k: int | None = None) -> None:
+    if n < 4 or n & (n - 1):
+        raise ValueError(f"(n,1)-stencil needs power-of-two n >= 4, got n={n}")
+
+
+def _api_emit(n: int, rng, *, wise: bool = True, k: int | None = None):
+    return run(rng.random(n), wise=wise, k=k)
+
+
+register(
+    AlgorithmSpec(
+        name="stencil1d",
+        summary="(n,1)-stencil via the five-diamond decomposition",
+        kind="oblivious",
+        section="4.4.1",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(16, 64, 256),
+    )
+)

@@ -117,3 +117,34 @@ def generate(n: int, *, k: int | None = None, wise: bool = True,
     return Stencil2DSchedule.from_schedule(
         builder.build(), n, k=kk, phases_per_level=4 * kk - 3, levels=levels
     )
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api): n is the grid side; the schedule lives on
+# M(n^2) and needs no input values (the trace is the product).
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, wise: bool = True, k: int | None = None,
+               stages: int = STAGES) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"(n,2)-stencil needs power-of-two n >= 2, got n={n}")
+
+
+def _api_emit(n: int, rng, *, wise: bool = True, k: int | None = None,
+              stages: int = STAGES) -> Stencil2DSchedule:
+    return generate(n, wise=wise, k=k, stages=stages)
+
+
+register(
+    AlgorithmSpec(
+        name="stencil2d",
+        summary="(n,2)-stencil schedule on M(n^2) (17 polyhedra)",
+        kind="oblivious",
+        section="4.4.2",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(4, 8, 16),
+    )
+)

@@ -1,31 +1,38 @@
-"""High-level sweep and report utilities for experiment pipelines.
+"""Classic sweep helpers, now thin wrappers over the experiment API.
 
-These wrap the one-trace-many-machines workflow into ready-made tables:
-``h_sweep`` (evaluation model over a p x sigma grid), ``d_sweep``
-(execution model over machine presets), ``optimality_sweep``
-(measured-vs-lower-bound ratios) and ``wiseness_report``.  The benches
-and examples use them; downstream users get the same one-liners.
+The bespoke sweep functions (``h_sweep``, ``d_sweep``,
+``optimality_sweep``, ``network_sweep``) predate the unified experiment
+API; each is now a **deprecated** wrapper that expands the equivalent
+declarative :class:`~repro.api.plan.ExperimentPlan`, runs it, and pivots
+the resulting :class:`~repro.api.frame.ResultFrame` back into the classic
+:class:`SweepTable` (bit-identical to the historical output — the plan
+cells compute exactly the same quantities).  New code should build plans
+directly::
 
-Every sweep accepts either a raw :class:`~repro.machine.trace.Trace` or
-an existing :class:`~repro.core.metrics.TraceMetrics` — pass the metrics
-object when running several sweeps over one trace so the folded
-quantities are shared (the folding kernels also keep a module-level LRU,
-so even separate sweeps avoid recomputation).
+    from repro.api import ExperimentPlan
+    frame = ExperimentPlan.from_trace(trace, ps=[4, 16],
+        topologies=["torus2d"], policies=["valiant"]).run(executor="process")
+
+:class:`SweepTable` itself moved to :mod:`repro.api.frame` and is
+re-exported here unchanged.  ``wiseness_report`` and the small helpers
+remain native.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro.api.frame import SweepTable
+from repro.api.plan import ExperimentPlan
 from repro.core.fullness import measured_gamma
 from repro.core.metrics import TraceMetrics
 from repro.core.wiseness import measured_alpha
 from repro.machine.trace import Trace
 from repro.models.presets import PRESETS
-from repro.networks import RoutingPolicy, by_name, by_policy, fit, route_trace
+from repro.networks import RoutingPolicy, by_policy
 from repro.util.intmath import ilog2
 
 __all__ = [
@@ -40,41 +47,13 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class SweepTable:
-    """A labelled table: ``rows[i][j]`` is the cell for (index[i], columns[j])."""
-
-    name: str
-    index: tuple
-    columns: tuple
-    rows: tuple
-
-    def as_dict(self) -> dict:
-        return {
-            idx: dict(zip(self.columns, row))
-            for idx, row in zip(self.index, self.rows)
-        }
-
-    def column(self, col) -> list:
-        j = self.columns.index(col)
-        return [row[j] for row in self.rows]
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        widths = [
-            max(len(str(c)), *(len(f"{row[j]:.4g}") for row in self.rows))
-            for j, c in enumerate(self.columns)
-        ]
-        head = " " * 8 + "  ".join(
-            str(c).rjust(w) for c, w in zip(self.columns, widths)
-        )
-        lines = [self.name, head]
-        for idx, row in zip(self.index, self.rows):
-            lines.append(
-                f"{str(idx):>8}"
-                + "  "
-                + "  ".join(f"{x:.4g}".rjust(w) for x, w in zip(row, widths))
-            )
-        return "\n".join(lines)
+def _deprecated(old: str, instead: str) -> None:
+    warnings.warn(
+        f"repro.analysis.{old} is deprecated; build an "
+        f"repro.api.ExperimentPlan {instead} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def metrics_of(trace_or_metrics: Trace | TraceMetrics) -> TraceMetrics:
@@ -95,6 +74,15 @@ def default_fold_grid(v: int, *, factor: int = 4, start: int = 4) -> list[int]:
     return out or [v]
 
 
+def _h_sweep_core(trace, ps, sigmas, *, name) -> SweepTable:
+    tm = metrics_of(trace)
+    ps = list(ps) if ps is not None else default_fold_grid(tm.v)
+    frame = ExperimentPlan.from_trace(
+        tm, ps=ps, sigmas=tuple(sigmas), name=name
+    ).run()
+    return frame.pivot("p", "sigma", "H", name=name)
+
+
 def h_sweep(
     trace: Trace | TraceMetrics,
     ps: Sequence[int] | None = None,
@@ -102,13 +90,9 @@ def h_sweep(
     *,
     name: str = "H(n, p, sigma)",
 ) -> SweepTable:
-    """Eq. 1 over a (p, sigma) grid."""
-    tm = metrics_of(trace)
-    ps = list(ps) if ps is not None else default_fold_grid(tm.v)
-    rows = tuple(
-        tuple(tm.H(p, s) for s in sigmas) for p in ps
-    )
-    return SweepTable(name, tuple(ps), tuple(sigmas), rows)
+    """Eq. 1 over a (p, sigma) grid.  Deprecated sweep wrapper."""
+    _deprecated("h_sweep", "with sigmas=...")
+    return _h_sweep_core(trace, ps, sigmas, name=name)
 
 
 def d_sweep(
@@ -118,14 +102,18 @@ def d_sweep(
     *,
     name: str = "D(n, p, g, ell)",
 ) -> SweepTable:
-    """Eq. 2 on a family of machine presets at fixed p."""
+    """Eq. 2 on a family of machine presets at fixed p.  Deprecated."""
+    _deprecated("d_sweep", "with machines=...")
     tm = metrics_of(trace)
     machines = dict(machines) if machines is not None else dict(PRESETS)
-    cols, vals = [], []
-    for mname, build in machines.items():
-        cols.append(mname)
-        vals.append(tm.D_machine(build(p)))
-    return SweepTable(name, (p,), tuple(cols), (tuple(vals),))
+    frame = ExperimentPlan.from_trace(
+        tm,
+        ps=[p],
+        machines=tuple(machines),
+        machine_builders=machines,
+        name=name,
+    ).run()
+    return frame.pivot("p", "machine", "D", name=name)
 
 
 def optimality_sweep(
@@ -137,11 +125,19 @@ def optimality_sweep(
     *,
     name: str = "H / lower bound",
 ) -> SweepTable:
-    """Measured-H over a paper lower bound: flat rows = Theta(1)-optimality."""
+    """Measured-H over a paper lower bound: flat rows = Theta(1)-optimality.
+
+    Deprecated wrapper: the H grid comes from a plan; the division by the
+    (arbitrary-callable) lower bound happens here, as callables are not
+    declarative plan material.
+    """
+    _deprecated("optimality_sweep", "with sigmas=... and divide by the bound")
     tm = metrics_of(trace)
     ps = list(ps) if ps is not None else default_fold_grid(tm.v)
+    table = _h_sweep_core(tm, ps, tuple(sigmas), name=name)
     rows = tuple(
-        tuple(tm.H(p, s) / lower_bound(n, p, s) for s in sigmas) for p in ps
+        tuple(h / lower_bound(n, p, s) for h, s in zip(row, sigmas))
+        for p, row in zip(ps, table.rows)
     )
     return SweepTable(name, tuple(ps), tuple(sigmas), rows)
 
@@ -160,33 +156,40 @@ def network_sweep(
 
     One row per processor count, one ``"topology/policy"`` column per
     combination; each cell routes the entire folded trace through the
-    columnar engine (memoised ``RoutedProfile``, so repeated sweeps over
-    one trace are nearly free).  With ``relative_to_dbsp`` the cells
-    become routed-time / fitted-D-BSP-prediction ratios — the E11
-    validity band across the whole grid.
+    columnar engine (memoised ``RoutedProfile``).  With
+    ``relative_to_dbsp`` the cells become routed-time /
+    fitted-D-BSP-prediction ratios.  Deprecated wrapper over
+    :class:`~repro.api.plan.ExperimentPlan` (bit-identical table; plans
+    additionally offer worker-pool execution and CSV/JSON export).
     """
+    _deprecated("network_sweep", "with topologies=.../policies=...")
     tm = metrics_of(trace)
     ps = list(ps) if ps is not None else default_fold_grid(tm.v)
     resolved = [
         p if isinstance(p, RoutingPolicy) else by_policy(p, seed) for p in policies
     ]
-    cols = tuple(f"{t}/{pol.name}" for t in topologies for pol in resolved)
-    rows = []
-    for p in ps:
-        row = []
-        for t in topologies:
-            topo = by_name(t, p)
-            # The D-BSP denominator depends only on (trace, topology).
-            denom = tm.D_machine(fit(topo)) if relative_to_dbsp else None
-            for pol in resolved:
-                routed = route_trace(tm.trace, topo, pol).total_time
-                if relative_to_dbsp:
-                    routed = routed / denom if denom else float("inf")
-                row.append(routed)
-        rows.append(tuple(row))
     if name is None:
         name = "routed / D-BSP predicted" if relative_to_dbsp else "routed time"
-    return SweepTable(name, tuple(ps), cols, tuple(rows))
+    frame = ExperimentPlan.from_trace(
+        tm,
+        ps=ps,
+        topologies=tuple(topologies),
+        policies=resolved,
+        relative_to_dbsp=relative_to_dbsp,
+        name=name,
+    ).run()
+    value = "routed_over_dbsp" if relative_to_dbsp else "routed_time"
+    # Classic layout: one "topology/policy" column per combination.  The
+    # grid expanded cells p-major, then topology, then policy — exactly
+    # the classic nesting — so the frame reshapes positionally (keying by
+    # policy *name* would collapse distinct same-named policy instances).
+    cols = tuple(f"{t}/{pol.name}" for t in topologies for pol in resolved)
+    values = frame.column(value)
+    rows = tuple(
+        tuple(values[i * len(cols) : (i + 1) * len(cols)])
+        for i in range(len(ps))
+    )
+    return SweepTable(name, tuple(ps), cols, rows)
 
 
 def wiseness_report(

@@ -1,0 +1,450 @@
+"""Declarative experiment plans: grids of cells run by a worker pool.
+
+An :class:`ExperimentPlan` is a list of :class:`PlanCell` measurements —
+(algorithm, size, p, sigma, topology, policy, machine) — expanded from a
+grid or loaded from JSON, executed serially or by a
+``concurrent.futures`` worker pool, and collected into a
+:class:`~repro.api.frame.ResultFrame`.  Each distinct (algorithm, size,
+seed) source is materialised exactly once (before any worker starts);
+the cells then share the folding and routing LRUs, so a whole
+topology x policy x p grid prices one trace with zero re-execution::
+
+    plan = ExperimentPlan.grid(
+        algorithms=["fft"], ns=[1024], ps=[4, 16],
+        topologies=["torus2d", "hypercube"],
+        policies=["dimension-order", "valiant"],
+    )
+    frame = plan.run(executor="process")   # or "serial" / "thread"
+
+Executors return bit-identical frames: every cell computes the same
+deterministic quantities, the pool only changes where.  The ``process``
+executor forks (copy-on-write shares the prepared traces and warm
+caches) and falls back to threads where ``fork`` is unavailable.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.metrics import TraceMetrics
+from repro.machine.trace import Trace
+from repro.models.presets import PRESETS
+from repro.networks import RoutingPolicy, by_policy, fit, route_trace
+from repro.networks import by_name as topology_by_name
+
+from repro.api import registry
+from repro.api.frame import RESULT_COLUMNS, ResultFrame
+from repro.api.pipeline import Pipeline
+
+__all__ = ["PlanCell", "ExperimentPlan"]
+
+
+@dataclass(frozen=True)
+class PlanCell:
+    """One measurement of one algorithm at one operating point.
+
+    ``algorithm`` names a registry spec, or — prefixed with ``@`` — a
+    plan-provided source (an existing trace/result, see
+    :meth:`ExperimentPlan.from_trace`).  Optional fields select what the
+    cell measures: ``sigma`` an H(n, p, sigma) evaluation, ``machine`` a
+    D-BSP preset evaluation, ``topology``/``policy`` a routed profile
+    (``relative_to_dbsp`` divides by the fitted D-BSP prediction).
+    """
+
+    algorithm: str
+    n: int | None = None
+    p: int | None = None
+    sigma: float | None = None
+    topology: str | None = None
+    policy: str | RoutingPolicy | None = None
+    policy_seed: int = 0
+    machine: str | None = None
+    relative_to_dbsp: bool = False
+    seed: int = 0
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def as_dict(self) -> dict:
+        """JSON-ready dict (drops defaults; rejects non-declarative cells)."""
+        if isinstance(self.policy, RoutingPolicy):
+            raise TypeError(
+                "cannot serialise a cell holding a RoutingPolicy instance; "
+                "use a policy name + policy_seed"
+            )
+        out: dict[str, Any] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "params":
+                if value:
+                    out["params"] = dict(value)
+                continue
+            if value != f.default:
+                out[f.name] = value
+        out["algorithm"] = self.algorithm
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "PlanCell":
+        d = dict(d)
+        params = d.pop("params", None)
+        if params:
+            d["params"] = tuple(sorted(params.items()))
+        unknown = set(d) - {f.name for f in fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown PlanCell fields: {sorted(unknown)}")
+        return cls(**d)
+
+
+#: Runtime the forked process-pool workers inherit (set around the pool).
+#: Module-global by necessity (fork shares it copy-on-write); the lock
+#: serialises concurrent process-executor runs so lazily-forked workers
+#: of one plan can never inherit another plan's runtime.
+_FORK_RUNTIME: "_PlanRuntime | None" = None
+_fork_lock = threading.Lock()
+
+
+def _fork_eval(i: int) -> tuple:
+    return _FORK_RUNTIME.eval_cell(i)
+
+
+class _PlanRuntime:
+    """Prepared sources + cell evaluator (shared by every executor)."""
+
+    def __init__(self, plan: "ExperimentPlan"):
+        self.plan = plan
+        self.cells = plan.cells
+        self._tms: dict[tuple, TraceMetrics] = {}
+        # Plan-level shared state the legacy sweep loops hoisted out of
+        # their policy loops: one Topology instance per (name, p) — its
+        # edge_capacities cache then serves every cell — and one fitted
+        # D-BSP denominator per (source, topology, p).
+        self._topos: dict[tuple, Any] = {}
+        self._denoms: dict[tuple, float] = {}
+
+    # -- sources -------------------------------------------------------
+    def _source_key(self, cell: PlanCell) -> tuple:
+        if cell.algorithm.startswith("@"):
+            return ("@", cell.algorithm[1:])
+        spec = registry.by_name(cell.algorithm)
+        p = cell.p if spec.needs_p else None
+        return (cell.algorithm, cell.n, cell.seed, cell.params, p)
+
+    def prepare(self) -> None:
+        """Materialise every distinct source once, serially.
+
+        Runs before any worker starts: the traces (and their
+        ``TraceMetrics``) are plan-level shared state — threads see the
+        same objects, forked processes inherit them copy-on-write.
+        """
+        for cell in self.cells:
+            key = self._source_key(cell)
+            if key in self._tms:
+                continue
+            if key[0] == "@":
+                name = key[1]
+                if name not in self.plan.sources:
+                    raise KeyError(
+                        f"plan has no provided source named {name!r}; "
+                        f"available: {sorted(self.plan.sources)}"
+                    )
+                pipe = _as_pipeline(self.plan.sources[name], label=f"@{name}")
+            else:
+                spec = registry.by_name(cell.algorithm)
+                params = dict(cell.params)
+                if spec.needs_p:
+                    params["p"] = cell.p
+                pipe = Pipeline("run", None, _plan_source(spec, cell, params))
+                pipe.result  # materialise the source before workers start
+            self._tms[key] = pipe.trace_metrics
+        for cell in self.cells:
+            if cell.topology is None:
+                continue
+            key = self._source_key(cell)
+            tm = self._tms[key]
+            p = cell.p if cell.p is not None else tm.v
+            tkey = (cell.topology, p)
+            if tkey not in self._topos:
+                self._topos[tkey] = topology_by_name(cell.topology, p)
+            if cell.relative_to_dbsp and (key, *tkey) not in self._denoms:
+                self._denoms[(key, *tkey)] = tm.D_machine(fit(self._topos[tkey]))
+
+    # -- cells ---------------------------------------------------------
+    def eval_cell(self, i: int) -> tuple:
+        """Row tuple (RESULT_COLUMNS order) for cell ``i`` — pure given
+        the prepared sources, so it can run on any worker."""
+        cell = self.cells[i]
+        key = self._source_key(cell)
+        tm = self._tms[key]
+        trace = tm.trace
+        label = cell.algorithm
+        row: dict[str, Any] = {
+            "algorithm": label,
+            "n": cell.n,
+            "v": tm.v,
+            "p": cell.p,
+            "sigma": cell.sigma,
+            "supersteps": trace.num_supersteps,
+            "messages": trace.total_messages,
+        }
+        if cell.sigma is not None:
+            p = cell.p if cell.p is not None else tm.v
+            row["H"] = tm.H(p, cell.sigma)
+        if cell.machine is not None:
+            build = (self.plan.machines or PRESETS).get(cell.machine)
+            if build is None:
+                raise KeyError(f"unknown machine preset {cell.machine!r}")
+            p = cell.p if cell.p is not None else tm.v
+            row["machine"] = cell.machine
+            row["D"] = tm.D_machine(build(p))
+        if cell.topology is not None:
+            p = cell.p if cell.p is not None else tm.v
+            topo = self._topos[(cell.topology, p)]
+            policy = cell.policy if cell.policy is not None else "dimension-order"
+            if not isinstance(policy, RoutingPolicy):
+                policy = by_policy(policy, cell.policy_seed)
+            profile = route_trace(trace, topo, policy)
+            routed = profile.total_time
+            row.update(
+                topology=cell.topology,
+                policy=policy.name,
+                routed_time=routed,
+                max_congestion=profile.max_congestion,
+                max_dilation=profile.max_dilation,
+            )
+            if cell.relative_to_dbsp:
+                denom = self._denoms[(key, cell.topology, p)]
+                row["routed_over_dbsp"] = routed / denom if denom else float("inf")
+        return tuple(row.get(c) for c in RESULT_COLUMNS)
+
+
+def _plan_source(spec, cell: PlanCell, params: dict):
+    from repro.api.pipeline import _Source
+
+    return _Source(spec, spec.name, cell.n, cell.seed, tuple(sorted(params.items())))
+
+
+def _as_pipeline(obj, *, label: str) -> Pipeline:
+    if isinstance(obj, Pipeline):
+        return obj
+    if isinstance(obj, (Trace, TraceMetrics)):
+        return Pipeline.from_trace(obj, label=label)
+    return Pipeline.from_result(obj, label=label)
+
+
+class ExperimentPlan:
+    """A named list of cells plus how to source and execute them.
+
+    Parameters
+    ----------
+    cells:
+        The measurements, run in order (the frame preserves it).
+    name:
+        Frame/report title.
+    sources:
+        Plan-provided traces/results for ``@name`` cells.
+    machines:
+        Optional mapping for ``machine`` cells (defaults to
+        ``models.PRESETS``); custom builders keep ``d_sweep`` expressible.
+    """
+
+    def __init__(
+        self,
+        cells: Iterable[PlanCell],
+        *,
+        name: str = "plan",
+        sources: Mapping[str, Any] | None = None,
+        machines: Mapping[str, Callable[[int], Any]] | None = None,
+    ):
+        self.cells: tuple[PlanCell, ...] = tuple(cells)
+        self.name = name
+        self.sources = dict(sources or {})
+        self.machines = dict(machines) if machines is not None else None
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def grid(
+        cls,
+        algorithms: Sequence[str],
+        ns: Sequence[int | None] = (None,),
+        ps: Sequence[int | None] = (None,),
+        sigmas: Sequence[float] = (),
+        topologies: Sequence[str] = (),
+        policies: Sequence[str | RoutingPolicy] = ("dimension-order",),
+        machines: Sequence[str] = (),
+        *,
+        relative_to_dbsp: bool = False,
+        policy_seed: int = 0,
+        seed: int = 0,
+        params: Mapping[str, Any] | None = None,
+        name: str = "grid",
+        sources: Mapping[str, Any] | None = None,
+        machine_builders: Mapping[str, Callable[[int], Any]] | None = None,
+    ) -> "ExperimentPlan":
+        """Expand a full product grid into cells (p-major, like the sweeps).
+
+        For every (algorithm, n, p): one H cell per ``sigma``, one routed
+        cell per topology x policy, one D cell per machine preset; a bare
+        structural cell when nothing else is requested.
+        """
+        frozen = tuple(sorted((params or {}).items()))
+        cells: list[PlanCell] = []
+        for alg in algorithms:
+            for n in ns:
+                for p in ps:
+                    base = PlanCell(
+                        algorithm=alg, n=n, p=p, seed=seed, params=frozen
+                    )
+                    emitted = False
+                    for sigma in sigmas:
+                        cells.append(replace(base, sigma=sigma))
+                        emitted = True
+                    for machine in machines:
+                        cells.append(replace(base, machine=machine))
+                        emitted = True
+                    for topology in topologies:
+                        for policy in policies:
+                            cells.append(
+                                replace(
+                                    base,
+                                    topology=topology,
+                                    policy=policy,
+                                    policy_seed=policy_seed,
+                                    relative_to_dbsp=relative_to_dbsp,
+                                )
+                            )
+                            emitted = True
+                    if not emitted:
+                        cells.append(base)
+        return cls(
+            cells, name=name, sources=sources, machines=machine_builders
+        )
+
+    @classmethod
+    def from_trace(
+        cls, trace: Trace | TraceMetrics, *, label: str = "trace", **grid_kwargs
+    ) -> "ExperimentPlan":
+        """Grid plan over one existing trace (no registry involved)."""
+        grid_kwargs.setdefault("name", f"plan[{label}]")
+        return cls.grid(
+            algorithms=[f"@{label}"], sources={label: trace}, **grid_kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise the plan (cells only — sources are not declarative)."""
+        if self.sources:
+            raise TypeError("cannot serialise a plan with in-memory sources")
+        text = json.dumps(
+            {"name": self.name, "cells": [c.as_dict() for c in self.cells]},
+            indent=2,
+        )
+        if path is not None:
+            Path(path).write_text(text + "\n")
+        return text
+
+    @classmethod
+    def from_json(cls, source: str | Path) -> "ExperimentPlan":
+        """Load a plan from a JSON string, file path, or ``grid`` spec.
+
+        Accepts either ``{"cells": [...]}`` (explicit) or
+        ``{"grid": {"algorithms": [...], "ns": [...], ...}}`` (expanded
+        via :meth:`grid`), plus an optional ``"name"``.
+        """
+        text = source
+        if isinstance(source, Path) or (
+            isinstance(source, str) and not source.lstrip().startswith("{")
+        ):
+            text = Path(source).read_text()
+        data = json.loads(text)
+        name = data.get("name", "plan")
+        if "grid" in data:
+            spec = dict(data["grid"])
+            return cls.grid(name=name, **spec)
+        cells = [PlanCell.from_dict(d) for d in data.get("cells", [])]
+        return cls(cells, name=name)
+
+    def validate(self) -> None:
+        """Validate every cell's size/params against the registry, eagerly."""
+        for cell in self.cells:
+            if cell.algorithm.startswith("@"):
+                if cell.algorithm[1:] not in self.sources:
+                    raise KeyError(f"no source for {cell.algorithm!r}")
+                continue
+            spec = registry.by_name(cell.algorithm)
+            params = dict(cell.params)
+            if spec.needs_p:
+                params["p"] = cell.p
+            if cell.n is None:
+                raise ValueError(f"{cell.algorithm}: cell needs a problem size n")
+            spec.validate(cell.n, **params)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        executor: str = "serial",
+        max_workers: int | None = None,
+    ) -> ResultFrame:
+        """Execute every cell and collect the frame (always cell order).
+
+        ``executor``: ``"serial"``, ``"thread"`` (shares the in-process
+        fold/route LRUs across workers), or ``"process"`` (fork-based
+        pool; prepared traces and warm caches are inherited
+        copy-on-write, results come back as plain row tuples).  All three
+        produce bit-identical frames.
+        """
+        self.validate()
+        runtime = _PlanRuntime(self)
+        runtime.prepare()
+        indices = range(len(self.cells))
+        if max_workers is None:
+            max_workers = min(8, max(1, len(self.cells)), os.cpu_count() or 1)
+        if executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                "fork start method unavailable; falling back to threads",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            executor = "thread"
+        if executor == "serial":
+            rows = [runtime.eval_cell(i) for i in indices]
+        elif executor == "thread":
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                rows = list(pool.map(runtime.eval_cell, indices))
+        elif executor == "process":
+            global _FORK_RUNTIME
+            ctx = multiprocessing.get_context("fork")
+            chunk = max(1, len(self.cells) // (max_workers * 2))
+            with _fork_lock:
+                _FORK_RUNTIME = runtime
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=max_workers, mp_context=ctx
+                    ) as pool:
+                        rows = list(pool.map(_fork_eval, indices, chunksize=chunk))
+                finally:
+                    _FORK_RUNTIME = None
+        else:
+            raise ValueError(
+                f"unknown executor {executor!r}; choose serial, thread or process"
+            )
+        return ResultFrame(RESULT_COLUMNS, tuple(rows), name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExperimentPlan({self.name!r}, cells={len(self.cells)})"

@@ -1,0 +1,156 @@
+"""The algorithm registry: one uniform spec per shipped algorithm.
+
+Every Section-4 network-oblivious algorithm and every parameter-aware BSP
+baseline registers an :class:`AlgorithmSpec` — a uniform description of
+how to validate a problem size, emit the algorithm's trace for that size
+(from a seeded deterministic input), and adapt the result into flat
+facts.  The registry makes algorithms *data*: discoverable by name
+(``repro.api.algorithms()`` / ``by_name()``, mirroring
+``networks.by_name``), runnable by pipelines and experiment plans without
+per-algorithm glue, and listable from the ``python -m repro`` CLI.
+
+Specs register themselves at the bottom of the module that implements
+them (the registration *is* part of the algorithm's public contract);
+this module only stores them.  ``_ensure_registered`` imports the
+algorithm packages lazily so ``repro.api`` never creates an import cycle
+with the modules that register into it.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "AlgorithmSpec",
+    "register",
+    "unregister",
+    "algorithms",
+    "by_name",
+    "specs",
+]
+
+_REGISTRY: dict[str, "AlgorithmSpec"] = {}
+
+#: Packages whose import registers the shipped specs (each algorithm
+#: module calls :func:`register` at its bottom).
+_PROVIDER_MODULES = ("repro.algorithms", "repro.baselines")
+_loaded = False
+
+
+def _ensure_registered() -> None:
+    global _loaded
+    if not _loaded:
+        _loaded = True  # set first: provider imports may consult the registry
+        for mod in _PROVIDER_MODULES:
+            importlib.import_module(mod)
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Uniform description of one runnable algorithm.
+
+    Parameters
+    ----------
+    name:
+        Registry key, e.g. ``"matmul"`` or ``"bsp-fft"``.
+    summary:
+        One-line description (shown by ``python -m repro list``).
+    kind:
+        ``"oblivious"`` (specified on M(v(n))) or ``"baseline"``
+        (parameter-aware, specified directly on M(p)).
+    section:
+        Paper section implementing it.
+    emit:
+        ``emit(n, rng, **params) -> AlgorithmResult`` — build a
+        deterministic input of problem size ``n`` from ``rng`` and run
+        the algorithm.  Baseline emitters additionally take ``p``.
+    check:
+        ``check(n, **params) -> None`` — problem-size validator, raising
+        :class:`ValueError` on unsupported sizes *without* running
+        anything (plans validate whole grids up front).
+    adapt:
+        Optional ``adapt(result) -> dict`` enriching the flat result
+        facts (e.g. an output-correctness flag).
+    default_sizes:
+        Example sizes the CLI shows and smoke tests use.
+    needs_p:
+        Baselines are emitted per machine size: their ``emit``/``check``
+        take a ``p`` keyword and a plan cell's ``p`` is forwarded.
+    """
+
+    name: str
+    summary: str
+    kind: str
+    section: str
+    emit: Callable[..., Any] = field(repr=False)
+    check: Callable[..., None] = field(repr=False)
+    adapt: Callable[[Any], dict] | None = field(default=None, repr=False)
+    default_sizes: tuple[int, ...] = ()
+    needs_p: bool = False
+
+    def validate(self, n: int, **params: Any) -> None:
+        """Raise :class:`ValueError` if ``n``/``params`` are unsupported."""
+        if not isinstance(n, (int, np.integer)) or isinstance(n, bool) or n < 1:
+            raise ValueError(f"{self.name}: problem size must be a positive int, got {n!r}")
+        if self.needs_p and params.get("p") is None:
+            raise ValueError(f"{self.name} is a baseline: an explicit p is required")
+        self.check(int(n), **params)
+
+    def run(self, n: int, *, seed: int = 0, **params: Any) -> Any:
+        """Validate, build the seeded input and run; returns the result."""
+        self.validate(n, **params)
+        rng = np.random.default_rng(seed)
+        return self.emit(int(n), rng, **params)
+
+    def describe(self, result: Any) -> dict:
+        """Flat facts about a result (base shape + spec-specific extras)."""
+        out = {
+            "algorithm": self.name,
+            "v": result.v,
+            "supersteps": result.supersteps,
+            "messages": result.messages,
+        }
+        if self.adapt is not None:
+            out.update(self.adapt(result))
+        return out
+
+
+def register(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Add (or replace) a spec in the registry; returns it for chaining."""
+    if spec.kind not in ("oblivious", "baseline"):
+        raise ValueError(f"unknown spec kind {spec.kind!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a spec (mainly for tests registering temporary specs)."""
+    _REGISTRY.pop(name, None)
+
+
+def algorithms(kind: str | None = None) -> tuple[str, ...]:
+    """Sorted names of every registered algorithm (optionally one kind)."""
+    _ensure_registered()
+    return tuple(
+        sorted(n for n, s in _REGISTRY.items() if kind is None or s.kind == kind)
+    )
+
+
+def by_name(name: str) -> AlgorithmSpec:
+    """Look up a registered spec by name (mirrors ``networks.by_name``)."""
+    _ensure_registered()
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown algorithm {name!r}; choose from {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def specs() -> dict[str, AlgorithmSpec]:
+    """Snapshot of the full registry (name -> spec)."""
+    _ensure_registered()
+    return dict(_REGISTRY)

@@ -39,3 +39,33 @@ def aware_H(n: int, p: int, sigma: float) -> float:
     """
     res = aware_broadcast(np.zeros(n), sigma)
     return TraceMetrics(res.trace).H(p, sigma)
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api): the sigma-aware kappa-ary broadcast.
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, sigma: float = 0.0) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"aware broadcast needs power-of-two n, got n={n}")
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+
+
+def _api_emit(n: int, rng, *, sigma: float = 0.0) -> BroadcastResult:
+    return aware_broadcast(rng.random(n), sigma)
+
+
+register(
+    AlgorithmSpec(
+        name="bsp-broadcast",
+        summary="sigma-aware kappa-ary broadcast (kappa = optimal_kappa(sigma))",
+        kind="baseline",
+        section="4.5",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(64, 256, 1024),
+    )
+)

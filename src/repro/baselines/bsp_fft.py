@@ -83,3 +83,34 @@ def transpose_fft(x: np.ndarray, p: int) -> BaselineFFTResult:
         X[row + k2 * p] = Z[row]
 
     return BaselineFFTResult.from_schedule(machine.build(), n, output=X, p=p)
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, p: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"transpose FFT needs power-of-two n, got n={n}")
+    if p < 1 or p & (p - 1) or p * p > n:
+        raise ValueError(f"transpose_fft requires power-of-two p with p^2 <= n")
+
+
+def _api_emit(n: int, rng, *, p: int) -> BaselineFFTResult:
+    return transpose_fft(rng.random(n) + 1j * rng.random(n), p)
+
+
+register(
+    AlgorithmSpec(
+        name="bsp-fft",
+        summary="p-aware transpose FFT on M(p)",
+        kind="baseline",
+        section="Thm 3.4 class C",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(1024, 4096),
+        needs_p=True,
+    )
+)

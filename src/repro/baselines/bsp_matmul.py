@@ -178,3 +178,68 @@ def cube_3d(
     return BaselineMMResult.from_schedule(
         machine.build(), side * side, product=C, p=p
     )
+
+
+# ----------------------------------------------------------------------
+# Registry specs (repro.api): baselines are emitted per machine size p.
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+from repro.util.intmath import square_side  # noqa: E402
+
+
+def _mm_side(n: int) -> int:
+    return square_side(n, 2, what="BSP matmul")
+
+
+def _summa_check(n: int, *, p: int) -> None:
+    side = _mm_side(n)
+    q = int(round(p**0.5))
+    if q * q != p or p & (p - 1):
+        raise ValueError(f"summa_2d needs a square power-of-two p, got p={p}")
+    if side % q:
+        raise ValueError(f"matrix side {side} not divisible by grid {q}")
+
+
+def _summa_emit(n: int, rng, *, p: int) -> BaselineMMResult:
+    side = _mm_side(n)
+    return summa_2d(rng.random((side, side)), rng.random((side, side)), p)
+
+
+def _cube_check(n: int, *, p: int) -> None:
+    side = _mm_side(n)
+    q = round(p ** (1 / 3))
+    if q**3 != p or p & (p - 1):
+        raise ValueError(f"cube_3d needs p = q^3 a power of 8, got p={p}")
+    if side % q:
+        raise ValueError(f"matrix side {side} not divisible by grid {q}")
+
+
+def _cube_emit(n: int, rng, *, p: int) -> BaselineMMResult:
+    side = _mm_side(n)
+    return cube_3d(rng.random((side, side)), rng.random((side, side)), p)
+
+
+register(
+    AlgorithmSpec(
+        name="bsp-matmul-2d",
+        summary="2-D block (SUMMA-style) BSP matrix multiply on M(p)",
+        kind="baseline",
+        section="Thm 3.4 class C",
+        emit=_summa_emit,
+        check=_summa_check,
+        default_sizes=(256, 1024),
+        needs_p=True,
+    )
+)
+register(
+    AlgorithmSpec(
+        name="bsp-matmul-3d",
+        summary="3-D cube BSP matrix multiply on M(p), p = q^3",
+        kind="baseline",
+        section="Thm 3.4 class C",
+        emit=_cube_emit,
+        check=_cube_check,
+        default_sizes=(256, 1024),
+        needs_p=True,
+    )
+)

@@ -94,3 +94,34 @@ def sample_sort(keys: np.ndarray, p: int) -> BaselineSortResult:
     return BaselineSortResult.from_schedule(
         machine.build(), n, output=out, p=p, max_bucket=max_bucket
     )
+
+
+# ----------------------------------------------------------------------
+# Registry spec (repro.api)
+# ----------------------------------------------------------------------
+from repro.api.registry import AlgorithmSpec, register  # noqa: E402
+
+
+def _api_check(n: int, *, p: int) -> None:
+    if n < 2 or n & (n - 1):
+        raise ValueError(f"sample sort needs power-of-two n, got n={n}")
+    if p < 1 or p & (p - 1) or p > n:
+        raise ValueError(f"sample_sort needs power-of-two p <= n, got p={p}")
+
+
+def _api_emit(n: int, rng, *, p: int) -> BaselineSortResult:
+    return sample_sort(rng.permutation(n).astype(np.float64), p)
+
+
+register(
+    AlgorithmSpec(
+        name="bsp-sort",
+        summary="regular-sampling sample sort on M(p)",
+        kind="baseline",
+        section="Thm 3.4 class C",
+        emit=_api_emit,
+        check=_api_check,
+        default_sizes=(256, 1024),
+        needs_p=True,
+    )
+)

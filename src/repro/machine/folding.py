@@ -26,6 +26,7 @@ property-tested bit-identical to the kernels.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable
 
@@ -46,6 +47,7 @@ __all__ = [
     "fold_trace_reference",
     "fold_message_counts_reference",
     "clear_fold_cache",
+    "fold_cache_stats",
 ]
 
 
@@ -64,28 +66,55 @@ _cache: OrderedDict[tuple, object] = OrderedDict()
 #: messages) each, so they live on the trace instance itself (released
 #: with it) in a small per-trace LRU, not in the module-level cache.
 _TRACE_LOCAL_MAX = 16
+#: One lock guards every fold cache (module-level and per-trace): it is
+#: held only around dict lookups/insertions, never around kernel work, so
+#: plan executors can fold from many threads.  Two threads racing on one
+#: key may both compute; the results are identical and last-write wins.
+_cache_lock = threading.RLock()
+_cache_hits = 0
+_cache_misses = 0
 
 
 def clear_fold_cache() -> None:
     """Drop the memoised fold results (mainly for tests and benchmarks).
 
     Per-trace caches (label-sorted contexts, folded columns) are
-    released with their traces and are not reachable from here.
+    released with their traces and are not reachable from here.  Also
+    resets the :func:`fold_cache_stats` counters.
     """
-    _cache.clear()
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def fold_cache_stats() -> dict[str, int]:
+    """Hit/miss counters across all fold caches (module + per-trace).
+
+    Reset by :func:`clear_fold_cache`; the pipeline cache-sharing tests
+    assert reused mid-chain stages add hits, never misses.
+    """
+    with _cache_lock:
+        return {"hits": _cache_hits, "misses": _cache_misses}
 
 
 def _cached_in(cache, maxsize, key, compute: Callable[[], object]):
-    try:
-        value = cache[key]
-        cache.move_to_end(key)
-        return value
-    except KeyError:
-        value = compute()
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        try:
+            value = cache[key]
+            cache.move_to_end(key)
+            _cache_hits += 1
+            return value
+        except KeyError:
+            _cache_misses += 1
+    value = compute()
+    with _cache_lock:
         cache[key] = value
         if len(cache) > maxsize:
             cache.popitem(last=False)
-        return value
+    return value
 
 
 def _cached(kind, trace: Trace, p: int, compute: Callable[[], object]):

@@ -23,13 +23,14 @@ sweeps route the same trace on many machines.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.machine.folding import fold_trace
-from repro.machine.trace import Trace
+from repro.machine.trace import Trace, TraceColumns
 from repro.networks.policy import DimensionOrderPolicy, RoutingPolicy
 from repro.networks.topology import Topology
 
@@ -39,17 +40,47 @@ __all__ = [
     "RoutedProfile",
     "route_trace",
     "clear_route_cache",
+    "route_cache_stats",
 ]
 
 _DIRECT = DimensionOrderPolicy()
 
 _CACHE_MAX = 256
 _cache: OrderedDict[tuple, "RoutedProfile"] = OrderedDict()
+#: Guards the LRU only (lookups and insertions, never the routing work
+#: itself) so plan executors may route cells from many threads at once.
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+
+#: Ceiling on ``num_supersteps * num_edges`` for the fused whole-trace
+#: router: above it the dense (superstep, edge) load grid would dwarf the
+#: message count and the per-superstep path wins on memory.
+_FUSED_MAX_CELLS = 1 << 21
+#: Ceiling on the *average* messages per superstep for fusion.  Fusing
+#: trades S per-superstep kernel launches (~100us of Python/numpy call
+#: overhead each) for whole-trace array passes; with large per-superstep
+#: batches the loop's chunks are cache-resident and the launch overhead
+#: is already amortised, so fusion only pays off for traces of many
+#: small supersteps (measured crossover is a few hundred messages).
+_FUSED_MAX_AVG_BATCH = 512
 
 
 def clear_route_cache() -> None:
     """Drop memoised routed profiles (mainly for tests and benchmarks)."""
-    _cache.clear()
+    global _cache_hits, _cache_misses
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+
+
+def route_cache_stats() -> dict[str, int]:
+    """Hit/miss counters of the routed-profile LRU (reset with
+    :func:`clear_route_cache`) — the observability hook the pipeline
+    cache-sharing tests assert against."""
+    with _cache_lock:
+        return {"hits": _cache_hits, "misses": _cache_misses}
 
 
 @dataclass(frozen=True)
@@ -153,30 +184,10 @@ def _route_superstep(
     return congestion, dilation
 
 
-def route_trace(
-    trace: Trace, topo: Topology, policy: RoutingPolicy | None = None
-) -> RoutedProfile:
-    """Route an entire trace, folded onto ``topo.p``, in one columnar pass.
-
-    The fold (``keep_empty=True`` — surviving supersteps that lost all
-    their messages still cost a barrier) comes from the memoised folding
-    kernels; each superstep's endpoint range is then sliced straight out
-    of the folded columns and routed as one batch.  Empty supersteps take
-    a fast path: barrier-only cost, no kernel call.  The profile is
-    memoised per (trace, topology, policy); cached arrays are read-only.
-    """
-    policy = policy or _DIRECT
-    token = getattr(trace, "cache_token", None)
-    key = None
-    if token is not None:
-        key = (token, topo.name, topo.p, policy.cache_key())
-        cached = _cache.get(key)
-        if cached is not None:
-            _cache.move_to_end(key)
-            return cached
-
-    folded = fold_trace(trace, topo.p, keep_empty=True)
-    cols = folded.columns()
+def _profile_arrays_loop(
+    topo: Topology, policy: RoutingPolicy, cols: TraceColumns
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-superstep routing loop (the reference whole-trace path)."""
     S = cols.num_supersteps
     congestion = np.zeros(S)
     dilation = np.zeros(S, dtype=np.int64)
@@ -192,6 +203,90 @@ def route_trace(
         congestion[s] = c
         dilation[s] = d
         time[s] = c + d + 1.0
+    return congestion, dilation, time
+
+
+def _profile_arrays_fused(
+    topo: Topology, policy: RoutingPolicy, cols: TraceColumns
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Route all supersteps of a folded trace in one pass per phase.
+
+    Each policy phase leg is routed through the topology's fused
+    ``route_loads_multi`` kernel — one ``bincount`` over the flat
+    ``superstep * num_edges + edge`` key space — and per-superstep
+    dilations come from ``pair_distance`` (the routed path length, whose
+    agreement with ``route_loads``' dilation is a property-tested
+    invariant of every shipped topology).  Returns ``None`` when the
+    policy or topology does not support fusion; results are bit-identical
+    to :func:`_profile_arrays_loop` (property-tested).
+    """
+    S = cols.num_supersteps
+    legs = policy.phase_legs(topo, cols.labels, cols.offsets, cols.src, cols.dst)
+    if legs is None:
+        return None
+    caps = topo.edge_capacities()
+    sidx = cols.superstep_index()
+    congestion = np.zeros(S)
+    dilation = np.zeros(S, dtype=np.int64)
+    try:
+        for leg_src, leg_dst in legs:
+            keep = leg_src != leg_dst  # policy legs may introduce self-messages
+            ls, ld, seg = leg_src[keep], leg_dst[keep], sidx[keep]
+            if ls.size == 0:
+                continue
+            loads = topo.route_loads_multi(ls, ld, seg, S)
+            congestion += (loads / caps[None, :]).max(axis=1)
+            leg_dil = np.zeros(S, dtype=np.int64)
+            np.maximum.at(leg_dil, seg, topo.pair_distance(ls, ld))
+            dilation += leg_dil
+    except NotImplementedError:
+        return None
+    return congestion, dilation, congestion + dilation + 1.0
+
+
+def route_trace(
+    trace: Trace, topo: Topology, policy: RoutingPolicy | None = None
+) -> RoutedProfile:
+    """Route an entire trace, folded onto ``topo.p``, in one columnar pass.
+
+    The fold (``keep_empty=True`` — surviving supersteps that lost all
+    their messages still cost a barrier) comes from the memoised folding
+    kernels.  When the trace is many small supersteps (dense
+    (superstep, edge) grid below ``2**21`` cells, average batch below
+    ``512`` messages) and the policy supports it, all supersteps are
+    routed in one fused kernel pass per phase; otherwise
+    each superstep's endpoint range is sliced out of the folded columns
+    and routed as one batch (empty supersteps short-circuit to
+    barrier-only cost).  Both paths are bit-identical.  The profile is
+    memoised per (trace, topology, policy); cached arrays are read-only.
+    """
+    policy = policy or _DIRECT
+    global _cache_hits, _cache_misses
+    token = getattr(trace, "cache_token", None)
+    key = None
+    if token is not None:
+        key = (token, topo.name, topo.p, policy.cache_key())
+        with _cache_lock:
+            cached = _cache.get(key)
+            if cached is not None:
+                _cache.move_to_end(key)
+                _cache_hits += 1
+                return cached
+            _cache_misses += 1
+
+    folded = fold_trace(trace, topo.p, keep_empty=True)
+    cols = folded.columns()
+    S = cols.num_supersteps
+    arrays = None
+    if (
+        S > 1
+        and S * topo.num_edges() <= _FUSED_MAX_CELLS
+        and cols.num_messages <= S * _FUSED_MAX_AVG_BATCH
+    ):
+        arrays = _profile_arrays_fused(topo, policy, cols)
+    if arrays is None:
+        arrays = _profile_arrays_loop(topo, policy, cols)
+    congestion, dilation, time = arrays
     for arr in (congestion, dilation, time):
         arr.setflags(write=False)
     profile = RoutedProfile(
@@ -204,7 +299,8 @@ def route_trace(
         time=time,
     )
     if key is not None:
-        _cache[key] = profile
-        if len(_cache) > _CACHE_MAX:
-            _cache.popitem(last=False)
+        with _cache_lock:
+            _cache[key] = profile
+            if len(_cache) > _CACHE_MAX:
+                _cache.popitem(last=False)
     return profile

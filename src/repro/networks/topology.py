@@ -140,6 +140,27 @@ class Topology:
         """Per-edge loads and the maximum path length (dilation), batched."""
         raise NotImplementedError
 
+    def route_loads_multi(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        seg: np.ndarray,
+        num_segs: int,
+    ) -> np.ndarray:
+        """Per-(segment, edge) loads of many independent batches at once.
+
+        ``seg[t]`` assigns message ``t`` to one of ``num_segs`` segments
+        (in practice: the supersteps of a folded trace); the result has
+        shape ``(num_segs, E)`` and row ``s`` equals
+        ``route_loads(src[seg == s], dst[seg == s])[0]`` bit-for-bit.
+        Implementations fuse all segments into one kernel pass over the
+        flat ``seg * E + edge`` key space — the multi-superstep router
+        calls this once per routing phase instead of once per superstep.
+        Topologies without a fused kernel may leave this unimplemented;
+        the router falls back to the per-superstep path.
+        """
+        raise NotImplementedError
+
     def route_loads_reference(
         self, src: np.ndarray, dst: np.ndarray
     ) -> tuple[np.ndarray, int]:
@@ -193,6 +214,19 @@ class Ring(Topology):
         )
         loads = _interval_loads(starts, ends, p).astype(np.float64)
         return loads, int(length.max(initial=0))
+
+    def route_loads_multi(self, src, dst, seg, num_segs):
+        p = self.p
+        if src.size == 0:
+            return np.zeros((num_segs, p))
+        fwd = (dst - src) % p
+        bwd = (src - dst) % p
+        length = np.minimum(fwd, bwd)
+        start = np.where(fwd <= bwd, src, dst)
+        move = length > 0
+        starts, ends = _ring_runs(start[move], length[move], (seg * p)[move], p)
+        loads = _interval_loads(starts, ends, num_segs * p)
+        return loads.reshape(num_segs, p).astype(np.float64)
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.p)
@@ -275,6 +309,28 @@ class Mesh2D(Topology):
         starts = np.concatenate([(r1 * sx + hlo)[mh], (off + c2 * sx + vlo)[mv]])
         ends = np.concatenate([(r1 * sx + hhi)[mh], (off + c2 * sx + vhi)[mv]])
         return _interval_loads(starts, ends, E).astype(np.float64), dil
+
+    def route_loads_multi(self, src, dst, seg, num_segs):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros((num_segs, E))
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        sx = max(self.side, self.side_y)
+        off = sx * sx
+        base = seg * E
+        hlo, hhi = np.minimum(c1, c2), np.maximum(c1, c2)
+        vlo, vhi = np.minimum(r1, r2), np.maximum(r1, r2)
+        mh = hhi > hlo
+        mv = vhi > vlo
+        starts = np.concatenate(
+            [(base + r1 * sx + hlo)[mh], (base + off + c2 * sx + vlo)[mv]]
+        )
+        ends = np.concatenate(
+            [(base + r1 * sx + hhi)[mh], (base + off + c2 * sx + vhi)[mv]]
+        )
+        loads = _interval_loads(starts, ends, num_segs * E)
+        return loads.reshape(num_segs, E).astype(np.float64)
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
@@ -365,6 +421,34 @@ class Torus2D(Topology):
         )
         return loads.astype(np.float64), dil
 
+    def route_loads_multi(self, src, dst, seg, num_segs):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros((num_segs, E))
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        fwd_c = (c2 - c1) % self.w
+        bwd_c = (c1 - c2) % self.w
+        len_c = np.minimum(fwd_c, bwd_c)
+        fwd_r = (r2 - r1) % self.h
+        bwd_r = (r1 - r2) % self.h
+        len_r = np.minimum(fwd_r, bwd_r)
+        start_c = np.where(fwd_c <= bwd_c, c1, c2)
+        start_r = np.where(fwd_r <= bwd_r, r1, r2)
+        base = seg * E
+        mh = len_c > 0
+        mv = len_r > 0
+        sh, eh = _ring_runs(
+            start_c[mh], len_c[mh], (base + r1 * self.w)[mh], self.w
+        )
+        sv, ev = _ring_runs(
+            start_r[mv], len_r[mv], (base + self.p + c2 * self.h)[mv], self.h
+        )
+        loads = _interval_loads(
+            np.concatenate([sh, sv]), np.concatenate([eh, ev]), num_segs * E
+        )
+        return loads.reshape(num_segs, E).astype(np.float64)
+
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
         if src.size == 0:
@@ -436,6 +520,24 @@ class Hypercube(Topology):
                 loads += np.bincount(cur[flip] * self.dims + d, minlength=E)
                 cur = cur ^ (flip.astype(np.int64) << d)
         return loads.astype(np.float64), dil
+
+    def route_loads_multi(self, src, dst, seg, num_segs):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros((num_segs, E))
+        total = num_segs * E
+        diff = src ^ dst
+        base = seg * E
+        loads = np.zeros(total, dtype=np.int64)
+        cur = src.copy()
+        for d in range(self.dims):
+            flip = (diff >> d) & 1 == 1
+            if flip.any():
+                loads += np.bincount(
+                    base[flip] + cur[flip] * self.dims + d, minlength=total
+                )
+                cur = cur ^ (flip.astype(np.int64) << d)
+        return loads.reshape(num_segs, E).astype(np.float64)
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
@@ -515,6 +617,27 @@ class FatTree(Topology):
             dil += 1
         return loads.astype(np.float64), dil
 
+    def route_loads_multi(self, src, dst, seg, num_segs):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros((num_segs, E))
+        total = num_segs * E
+        loads = np.zeros(total, dtype=np.int64)
+        base = seg * E
+        a = src + self.p - 1
+        b = dst + self.p - 1
+        while True:
+            ne = a != b
+            if not ne.any():
+                break
+            up_a = ne & (a > b)
+            up_b = ne & (a < b)
+            loads += np.bincount((base + a - 1)[up_a], minlength=total)
+            loads += np.bincount((base + b - 1)[up_b], minlength=total)
+            a = np.where(up_a, (a - 1) >> 1, a)
+            b = np.where(up_b, (b - 1) >> 1, b)
+        return loads.reshape(num_segs, E).astype(np.float64)
+
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
         if src.size == 0:
@@ -589,6 +712,32 @@ class Butterfly(Topology):
                 )
                 cur = cur ^ (cross.astype(np.int64) << l)
         return loads.astype(np.float64), dil
+
+    def route_loads_multi(self, src, dst, seg, num_segs):
+        E = self.num_edges()
+        if src.size == 0:
+            return np.zeros((num_segs, E))
+        total = num_segs * E
+        diff = src ^ dst
+        base = seg * E
+        loads = np.zeros(total, dtype=np.int64)
+        cross_base = self.dims * self.p
+        cur = src.copy()
+        for l in range(int(_bit_length(diff).max(initial=0))):
+            active = (diff >> l) != 0
+            cross = active & (((diff >> l) & 1) == 1)
+            straight = active & ~cross
+            if straight.any():
+                loads += np.bincount(
+                    (base + l * self.p + cur)[straight], minlength=total
+                )
+            if cross.any():
+                loads += np.bincount(
+                    (base + cross_base + l * self.p + cur)[cross],
+                    minlength=total,
+                )
+                cur = cur ^ (cross.astype(np.int64) << l)
+        return loads.reshape(num_segs, E).astype(np.float64)
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())

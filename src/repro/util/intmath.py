@@ -17,12 +17,30 @@ __all__ = [
     "ceil_div",
     "paper_log",
     "shared_msb",
+    "square_side",
 ]
 
 
 def is_power_of_two(x: int) -> bool:
     """Return ``True`` iff ``x`` is a positive integral power of two."""
     return isinstance(x, (int,)) and x > 0 and (x & (x - 1)) == 0
+
+
+def square_side(n: int, min_side: int = 1, *, what: str = "problem") -> int:
+    """The side of an ``n``-entry square with power-of-two side.
+
+    The matrix problems state sizes as entry counts ``n = side**2``; this
+    is the one shared validator (used by every matmul registry spec) —
+    raises :class:`ValueError` unless ``side`` is a power of two
+    ``>= min_side``.
+    """
+    side = int(round(n**0.5))
+    if side * side != n or not is_power_of_two(side) or side < min_side:
+        raise ValueError(
+            f"{what} needs n = side**2 with power-of-two side >= {min_side}, "
+            f"got n={n}"
+        )
+    return side
 
 
 def ilog2(x: int) -> int:
