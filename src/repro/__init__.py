@@ -27,13 +27,14 @@ from repro.machine.folding import fold_trace
 from repro.models import DBSP, EvaluationModel
 
 # The subpackages below import the ones above; order matters.
-from repro import algorithms, api, baselines, networks
+from repro import algorithms, api, baselines, networks, sim
 from repro import analysis
 from repro.api import ExperimentPlan, Pipeline, ResultFrame
 from repro.api import run as run_pipeline
 from repro.networks import route_trace
+from repro.sim import SimProfile, simulate_trace, validate_bound
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "machine",
@@ -42,6 +43,7 @@ __all__ = [
     "algorithms",
     "baselines",
     "networks",
+    "sim",
     "analysis",
     "api",
     "Machine",
@@ -51,6 +53,9 @@ __all__ = [
     "EvaluationModel",
     "fold_trace",
     "route_trace",
+    "simulate_trace",
+    "validate_bound",
+    "SimProfile",
     "Pipeline",
     "ExperimentPlan",
     "ResultFrame",

@@ -258,7 +258,18 @@ def _api_check(n: int, *, wise: bool = True) -> None:
 
 def _api_emit(n: int, rng, *, wise: bool = True) -> MatMulResult:
     side = square_side(n, 4, what="n-MM")
-    return run(rng.random((side, side)), rng.random((side, side)), wise=wise)
+    A, B = rng.random((side, side)), rng.random((side, side))
+    result = run(A, B, wise=wise)
+    result.oracle_input = (A, B)  # adapt computes the reference lazily
+    return result
+
+
+def _api_adapt(result: MatMulResult) -> dict:
+    inputs = getattr(result, "oracle_input", None)
+    if inputs is None:  # result not emitted through the registry
+        return {}
+    A, B = inputs
+    return {"correct": bool(np.allclose(result.product, A @ B))}
 
 
 register(
@@ -269,6 +280,7 @@ register(
         section="4.1",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(64, 256, 1024),
     )
 )

@@ -104,7 +104,21 @@ def _api_check(n: int, *, inclusive: bool = False) -> None:
 
 
 def _api_emit(n: int, rng, *, inclusive: bool = False) -> PrefixResult:
-    return run(rng.random(n), inclusive=inclusive)
+    x = rng.random(n)
+    result = run(x, inclusive=inclusive)
+    result.oracle_input = (x, inclusive)  # adapt computes the scan lazily
+    return result
+
+
+def _api_adapt(result: PrefixResult) -> dict:
+    inputs = getattr(result, "oracle_input", None)
+    if inputs is None:  # result not emitted through the registry
+        return {}
+    x, inclusive = inputs
+    cum = np.cumsum(x)
+    # numpy reference scan (exclusive by default).
+    oracle = cum if inclusive else np.concatenate(([0.0], cum[:-1]))
+    return {"correct": bool(np.allclose(result.output, oracle))}
 
 
 register(
@@ -115,6 +129,7 @@ register(
         section="5",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(64, 256, 1024),
     )
 )

@@ -184,7 +184,22 @@ def _api_check(n: int, *, wise: bool = True) -> None:
 
 
 def _api_emit(n: int, rng, *, wise: bool = True) -> SortResult:
-    return run(rng.permutation(n), wise=wise)
+    keys = rng.permutation(n)
+    result = run(keys, wise=wise)
+    result.oracle_input = keys  # adapt computes the reference lazily
+    return result
+
+
+def _api_adapt(result: SortResult) -> dict:
+    keys = getattr(result, "oracle_input", None)
+    if keys is None:  # result not emitted through the registry
+        return {}
+    # run() casts integer keys to float64; the oracle must match.
+    return {
+        "correct": bool(
+            np.array_equal(result.output, np.sort(keys).astype(np.float64))
+        )
+    }
 
 
 register(
@@ -195,6 +210,7 @@ register(
         section="4.3",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(64, 256, 1024),
     )
 )

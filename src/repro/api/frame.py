@@ -70,10 +70,15 @@ RESULT_COLUMNS = (
     "D",
     "topology",
     "policy",
+    "mode",
+    "arbiter",
     "routed_time",
     "routed_over_dbsp",
     "max_congestion",
     "max_dilation",
+    "sim_cycles",
+    "sim_over_cd",
+    "correct",
     "supersteps",
     "messages",
 )

@@ -31,6 +31,7 @@ from repro.networks import RoutingPolicy, by_policy, route_trace
 from repro.networks import by_name as topology_by_name
 from repro.networks.routing import RoutedProfile
 from repro.networks.topology import Topology
+from repro.sim import Arbiter, SimProfile, by_arbiter, simulate_trace
 
 from repro.api import registry
 
@@ -81,10 +82,13 @@ class MetricsRow:
     D: float | None = None
     topology: str | None = None
     policy: str | None = None
+    arbiter: str | None = None
     routed_time: float | None = None
     routed_over_dbsp: float | None = None
     max_congestion: float | None = None
     max_dilation: int | None = None
+    sim_cycles: int | None = None
+    sim_over_cd: float | None = None
     extras: tuple = ()
 
     def as_dict(self) -> dict:
@@ -99,10 +103,13 @@ class MetricsRow:
             "D": self.D,
             "topology": self.topology,
             "policy": self.policy,
+            "arbiter": self.arbiter,
             "routed_time": self.routed_time,
             "routed_over_dbsp": self.routed_over_dbsp,
             "max_congestion": self.max_congestion,
             "max_dilation": self.max_dilation,
+            "sim_cycles": self.sim_cycles,
+            "sim_over_cd": self.sim_over_cd,
             "supersteps": self.supersteps,
             "messages": self.messages,
         }
@@ -209,6 +216,20 @@ class Pipeline:
             topology=topology, policy=policy, p=p, seed=int(seed),
         )
 
+    def simulate(
+        self, arbiter: str | Arbiter = "fifo", *, seed: int = 0
+    ) -> "Pipeline":
+        """Cycle-accurately execute the chain's routed trace (lazy).
+
+        Continues the nearest ``.route(...)`` stage: the same folded
+        message batches the analytic profile prices are walked hop by
+        hop through :func:`repro.sim.simulate_trace` under ``arbiter``.
+        Access the measured :class:`~repro.sim.SimProfile` via
+        :attr:`sim_profile`; ``metrics()`` rows gain ``sim_cycles`` and
+        ``sim_over_cd`` (the empirical LMR constant).
+        """
+        return Pipeline("sim", self, self._source, arbiter=arbiter, seed=int(seed))
+
     # ------------------------------------------------------------------
     # Materialising accessors
     # ------------------------------------------------------------------
@@ -229,7 +250,7 @@ class Pipeline:
             return self._cell.get(
                 lambda: fold_trace(self._source.materialise()[1], self._args["p"])
             )
-        if self._kind == "route":
+        if self._kind in ("route", "sim"):
             return self._parent.trace
         return self._source.materialise()[1]
 
@@ -241,12 +262,24 @@ class Pipeline:
     @property
     def profile(self) -> RoutedProfile:
         """The :class:`RoutedProfile` of the nearest route stage."""
-        node = self
-        while node is not None and node._kind != "route":
-            node = node._parent
+        node = self._find("route")
         if node is None:
             raise AttributeError("no .route(...) stage in this pipeline")
         return node._cell.get(node._materialise_route)
+
+    @property
+    def sim_profile(self) -> SimProfile:
+        """The measured :class:`SimProfile` of the nearest sim stage."""
+        node = self._find("sim")
+        if node is None:
+            raise AttributeError("no .simulate(...) stage in this pipeline")
+        return node._cell.get(node._materialise_sim)
+
+    def _find(self, kind: str) -> "Pipeline | None":
+        node = self
+        while node is not None and node._kind != kind:
+            node = node._parent
+        return node
 
     def _chain_p(self) -> int | None:
         node = self
@@ -284,6 +317,20 @@ class Pipeline:
             self._resolve_policy(),
         )
 
+    def _materialise_sim(self) -> SimProfile:
+        route = self._find("route")
+        if route is None:
+            raise AttributeError(".simulate() needs a .route(...) stage upstream")
+        arbiter = self._args["arbiter"]
+        if not isinstance(arbiter, Arbiter):
+            arbiter = by_arbiter(arbiter, self._args["seed"])
+        return simulate_trace(
+            self._source.materialise()[1],
+            route._resolve_topology(),
+            route._resolve_policy(),
+            arbiter,
+        )
+
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
@@ -307,10 +354,14 @@ class Pipeline:
         source = self._source
         result, trace = source.materialise()
         tm = source.trace_metrics()
-        node = self
-        while node is not None and node._kind != "route":
-            node = node._parent
+        node = self._find("route")
         profile = node._cell.get(node._materialise_route) if node is not None else None
+        sim_node = self._find("sim")
+        sim = (
+            sim_node._cell.get(sim_node._materialise_sim)
+            if sim_node is not None
+            else None
+        )
         p = self._chain_p()
         if p is None and profile is not None:
             p = profile.p
@@ -341,6 +392,12 @@ class Pipeline:
                 max_congestion=profile.max_congestion,
                 max_dilation=profile.max_dilation,
             )
+        if sim is not None:
+            row.update(
+                arbiter=sim.arbiter,
+                sim_cycles=sim.total_cycles,
+                sim_over_cd=sim.overall_ratio,
+            )
         return MetricsRow(**row)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -351,6 +408,10 @@ class Pipeline:
                 stages.append(f"run({node._source.label!r})")
             elif node._kind == "fold":
                 stages.append(f"fold(p={node._args['p']})")
+            elif node._kind == "sim":
+                arb = node._args["arbiter"]
+                name = arb.name if isinstance(arb, Arbiter) else arb
+                stages.append(f"simulate({name!r})")
             else:
                 topo = node._args["topology"]
                 name = topo.name if isinstance(topo, Topology) else topo

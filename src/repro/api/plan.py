@@ -39,6 +39,7 @@ from repro.machine.trace import Trace
 from repro.models.presets import PRESETS
 from repro.networks import RoutingPolicy, by_policy, fit, route_trace
 from repro.networks import by_name as topology_by_name
+from repro.sim import ARBITERS, simulate_trace
 
 from repro.api import registry
 from repro.api.frame import RESULT_COLUMNS, ResultFrame
@@ -56,7 +57,11 @@ class PlanCell:
     :meth:`ExperimentPlan.from_trace`).  Optional fields select what the
     cell measures: ``sigma`` an H(n, p, sigma) evaluation, ``machine`` a
     D-BSP preset evaluation, ``topology``/``policy`` a routed profile
-    (``relative_to_dbsp`` divides by the fitted D-BSP prediction).
+    (``relative_to_dbsp`` divides by the fitted D-BSP prediction).  A
+    topology cell with ``mode="sim"`` additionally runs the
+    cycle-accurate simulator (:mod:`repro.sim`) under ``arbiter`` and
+    reports measured cycles next to the analytic price, so one frame
+    sweeps analytic-vs-measured.
     """
 
     algorithm: str
@@ -68,6 +73,9 @@ class PlanCell:
     policy_seed: int = 0
     machine: str | None = None
     relative_to_dbsp: bool = False
+    mode: str = "analytic"
+    arbiter: str = "fifo"
+    arbiter_seed: int = 0
     seed: int = 0
     params: tuple[tuple[str, Any], ...] = ()
 
@@ -117,9 +125,10 @@ def _fork_eval(i: int) -> tuple:
 class _PlanRuntime:
     """Prepared sources + cell evaluator (shared by every executor)."""
 
-    def __init__(self, plan: "ExperimentPlan"):
+    def __init__(self, plan: "ExperimentPlan", *, check: bool = False):
         self.plan = plan
         self.cells = plan.cells
+        self.check = check
         self._tms: dict[tuple, TraceMetrics] = {}
         # Plan-level shared state the legacy sweep loops hoisted out of
         # their policy loops: one Topology instance per (name, p) — its
@@ -127,6 +136,9 @@ class _PlanRuntime:
         # D-BSP denominator per (source, topology, p).
         self._topos: dict[tuple, Any] = {}
         self._denoms: dict[tuple, float] = {}
+        # check=True: per-source correctness verdicts from the specs'
+        # ``adapt`` oracles, computed once at prepare time.
+        self._checks: dict[tuple, bool | None] = {}
 
     # -- sources -------------------------------------------------------
     def _source_key(self, cell: PlanCell) -> tuple:
@@ -161,7 +173,13 @@ class _PlanRuntime:
                 if spec.needs_p:
                     params["p"] = cell.p
                 pipe = Pipeline("run", None, _plan_source(spec, cell, params))
-                pipe.result  # materialise the source before workers start
+                result = pipe.result  # materialise before workers start
+                if self.check:
+                    # The spec's adapt oracle (numpy reference check)
+                    # turns the grid into a correctness sweep; specs
+                    # without one report None, never a false pass.
+                    verdict = (spec.adapt or (lambda r: {}))(result)
+                    self._checks[key] = verdict.get("correct")
             self._tms[key] = pipe.trace_metrics
         for cell in self.cells:
             if cell.topology is None:
@@ -214,13 +232,25 @@ class _PlanRuntime:
             row.update(
                 topology=cell.topology,
                 policy=policy.name,
+                mode=cell.mode,
                 routed_time=routed,
                 max_congestion=profile.max_congestion,
                 max_dilation=profile.max_dilation,
             )
+            if cell.mode == "sim":
+                sim = simulate_trace(
+                    trace, topo, policy, cell.arbiter, seed=cell.arbiter_seed
+                )
+                row.update(
+                    arbiter=sim.arbiter,
+                    sim_cycles=sim.total_cycles,
+                    sim_over_cd=sim.overall_ratio,
+                )
             if cell.relative_to_dbsp:
                 denom = self._denoms[(key, cell.topology, p)]
                 row["routed_over_dbsp"] = routed / denom if denom else float("inf")
+        if self.check:
+            row["correct"] = self._checks.get(key)
         return tuple(row.get(c) for c in RESULT_COLUMNS)
 
 
@@ -283,9 +313,12 @@ class ExperimentPlan:
         topologies: Sequence[str] = (),
         policies: Sequence[str | RoutingPolicy] = ("dimension-order",),
         machines: Sequence[str] = (),
+        modes: Sequence[str] = ("analytic",),
         *,
         relative_to_dbsp: bool = False,
         policy_seed: int = 0,
+        arbiter: str = "fifo",
+        arbiter_seed: int = 0,
         seed: int = 0,
         params: Mapping[str, Any] | None = None,
         name: str = "grid",
@@ -295,8 +328,10 @@ class ExperimentPlan:
         """Expand a full product grid into cells (p-major, like the sweeps).
 
         For every (algorithm, n, p): one H cell per ``sigma``, one routed
-        cell per topology x policy, one D cell per machine preset; a bare
-        structural cell when nothing else is requested.
+        cell per topology x policy x mode (``modes=("analytic", "sim")``
+        prices and simulates each network cell side by side), one D cell
+        per machine preset; a bare structural cell when nothing else is
+        requested.
         """
         frozen = tuple(sorted((params or {}).items()))
         cells: list[PlanCell] = []
@@ -315,16 +350,20 @@ class ExperimentPlan:
                         emitted = True
                     for topology in topologies:
                         for policy in policies:
-                            cells.append(
-                                replace(
-                                    base,
-                                    topology=topology,
-                                    policy=policy,
-                                    policy_seed=policy_seed,
-                                    relative_to_dbsp=relative_to_dbsp,
+                            for mode in modes:
+                                cells.append(
+                                    replace(
+                                        base,
+                                        topology=topology,
+                                        policy=policy,
+                                        policy_seed=policy_seed,
+                                        relative_to_dbsp=relative_to_dbsp,
+                                        mode=mode,
+                                        arbiter=arbiter,
+                                        arbiter_seed=arbiter_seed,
+                                    )
                                 )
-                            )
-                            emitted = True
+                                emitted = True
                     if not emitted:
                         cells.append(base)
         return cls(
@@ -380,6 +419,21 @@ class ExperimentPlan:
     def validate(self) -> None:
         """Validate every cell's size/params against the registry, eagerly."""
         for cell in self.cells:
+            if cell.mode not in ("analytic", "sim"):
+                raise ValueError(
+                    f"unknown cell mode {cell.mode!r}; choose analytic or sim"
+                )
+            if cell.mode == "sim":
+                if cell.topology is None:
+                    raise ValueError(
+                        "mode='sim' needs a topology: the simulator measures "
+                        "a routed cell, not a structural one"
+                    )
+                if cell.arbiter not in ARBITERS:
+                    raise KeyError(
+                        f"unknown arbiter {cell.arbiter!r}; "
+                        f"choose from {sorted(ARBITERS)}"
+                    )
             if cell.algorithm.startswith("@"):
                 if cell.algorithm[1:] not in self.sources:
                     raise KeyError(f"no source for {cell.algorithm!r}")
@@ -400,6 +454,7 @@ class ExperimentPlan:
         *,
         executor: str = "serial",
         max_workers: int | None = None,
+        check: bool = False,
     ) -> ResultFrame:
         """Execute every cell and collect the frame (always cell order).
 
@@ -408,9 +463,14 @@ class ExperimentPlan:
         pool; prepared traces and warm caches are inherited
         copy-on-write, results come back as plain row tuples).  All three
         produce bit-identical frames.
+
+        ``check=True`` additionally runs every registry source through
+        its spec's ``adapt`` numpy oracle and reports the verdict in the
+        frame's ``correct`` column (``None`` for sources without an
+        oracle) — the grid doubles as a correctness sweep.
         """
         self.validate()
-        runtime = _PlanRuntime(self)
+        runtime = _PlanRuntime(self, check=check)
         runtime.prepare()
         indices = range(len(self.cells))
         if max_workers is None:

@@ -73,6 +73,7 @@ _TRACE_LOCAL_MAX = 16
 _cache_lock = threading.RLock()
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
 
 
 def clear_fold_cache() -> None:
@@ -82,25 +83,32 @@ def clear_fold_cache() -> None:
     released with their traces and are not reachable from here.  Also
     resets the :func:`fold_cache_stats` counters.
     """
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     with _cache_lock:
         _cache.clear()
         _cache_hits = 0
         _cache_misses = 0
+        _cache_evictions = 0
 
 
 def fold_cache_stats() -> dict[str, int]:
-    """Hit/miss counters across all fold caches (module + per-trace).
+    """Hit/miss/eviction counters across all fold caches (module +
+    per-trace).
 
     Reset by :func:`clear_fold_cache`; the pipeline cache-sharing tests
-    assert reused mid-chain stages add hits, never misses.
+    assert reused mid-chain stages add hits, never misses, and capacity
+    tests watch ``evictions`` to see LRU pressure.
     """
     with _cache_lock:
-        return {"hits": _cache_hits, "misses": _cache_misses}
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "evictions": _cache_evictions,
+        }
 
 
 def _cached_in(cache, maxsize, key, compute: Callable[[], object]):
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     with _cache_lock:
         try:
             value = cache[key]
@@ -114,6 +122,7 @@ def _cached_in(cache, maxsize, key, compute: Callable[[], object]):
         cache[key] = value
         if len(cache) > maxsize:
             cache.popitem(last=False)
+            _cache_evictions += 1
     return value
 
 

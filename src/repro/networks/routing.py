@@ -24,6 +24,7 @@ sweeps route the same trace on many machines.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -41,6 +42,8 @@ __all__ = [
     "route_trace",
     "clear_route_cache",
     "route_cache_stats",
+    "fuse_gate_stats",
+    "clear_fuse_gate",
 ]
 
 _DIRECT = DimensionOrderPolicy()
@@ -52,35 +55,110 @@ _cache: OrderedDict[tuple, "RoutedProfile"] = OrderedDict()
 _cache_lock = threading.Lock()
 _cache_hits = 0
 _cache_misses = 0
+_cache_evictions = 0
 
 #: Ceiling on ``num_supersteps * num_edges`` for the fused whole-trace
 #: router: above it the dense (superstep, edge) load grid would dwarf the
 #: message count and the per-superstep path wins on memory.
 _FUSED_MAX_CELLS = 1 << 21
-#: Ceiling on the *average* messages per superstep for fusion.  Fusing
-#: trades S per-superstep kernel launches (~100us of Python/numpy call
-#: overhead each) for whole-trace array passes; with large per-superstep
-#: batches the loop's chunks are cache-resident and the launch overhead
-#: is already amortised, so fusion only pays off for traces of many
-#: small supersteps (measured crossover is a few hundred messages).
-_FUSED_MAX_AVG_BATCH = 512
+#: Clamp on the measured per-(topology, fold) average-batch crossover
+#: (messages per superstep) below which fusion is enabled.  Fusing trades
+#: S per-superstep kernel launches for whole-trace array passes; with
+#: large per-superstep batches the loop's chunks are cache-resident and
+#: the launch overhead is already amortised, so fusion only pays off for
+#: traces of many small supersteps.  The crossover is *measured* per
+#: (topology, p) cell once per process (see :func:`_fused_batch_limit`);
+#: the clamp keeps a noisy timing from producing a pathological gate.
+_FUSED_BATCH_FLOOR = 64
+_FUSED_BATCH_CEIL = 4096
+#: Probe sizes for the once-per-process crossover measurement: the
+#: 1-message call times the kernel-launch overhead, the large batch the
+#: marginal per-message cost.
+_FUSE_PROBE_BATCH = 512
+_fuse_limits: dict[tuple[str, int], int] = {}
 
 
 def clear_route_cache() -> None:
     """Drop memoised routed profiles (mainly for tests and benchmarks)."""
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     with _cache_lock:
         _cache.clear()
         _cache_hits = 0
         _cache_misses = 0
+        _cache_evictions = 0
 
 
 def route_cache_stats() -> dict[str, int]:
-    """Hit/miss counters of the routed-profile LRU (reset with
+    """Hit/miss/eviction counters of the routed-profile LRU (reset with
     :func:`clear_route_cache`) — the observability hook the pipeline
     cache-sharing tests assert against."""
     with _cache_lock:
-        return {"hits": _cache_hits, "misses": _cache_misses}
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "evictions": _cache_evictions,
+        }
+
+
+def clear_fuse_gate() -> None:
+    """Forget the measured per-(topology, fold) fuse crossovers."""
+    with _cache_lock:
+        _fuse_limits.clear()
+
+
+def fuse_gate_stats() -> dict[tuple[str, int], int]:
+    """Measured fuse-gate decisions: (topology, p) -> avg-batch ceiling.
+
+    Populated lazily, one entry per (topology, p) cell per process, by
+    :func:`_fused_batch_limit`.
+    """
+    with _cache_lock:
+        return dict(_fuse_limits)
+
+
+def _measure_batch_limit(topo: Topology) -> int:
+    """Measure this cell's fusion crossover: launch overhead in messages.
+
+    Fusing a trace of ``S`` supersteps saves ~``S`` kernel launches and
+    costs ~one extra whole-trace pass, so it pays while the average
+    batch is below ``launch_overhead / marginal_per_message_cost``.
+    Both terms are measured on the spot (best of three, one warm-up):
+    a 1-message ``route_loads`` call prices the launch, a
+    :data:`_FUSE_PROBE_BATCH`-message call the marginal cost.  Clamped
+    to [:data:`_FUSED_BATCH_FLOOR`, :data:`_FUSED_BATCH_CEIL`] so timing
+    noise cannot produce a pathological gate — results are bit-identical
+    either way; only throughput is at stake.
+    """
+    rng = np.random.default_rng(0xF05E)
+    batches = []
+    for size in (1, _FUSE_PROBE_BATCH):
+        src = rng.integers(0, topo.p, size, dtype=np.int64)
+        dst = (src + 1 + rng.integers(0, max(1, topo.p - 1), size)) % topo.p
+        batches.append((src, dst))
+    (s1, d1), (sb, db) = batches
+    topo.route_loads(s1, d1)  # warm the instance caches outside the timing
+    t_small = t_big = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        topo.route_loads(s1, d1)
+        t_small = min(t_small, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        topo.route_loads(sb, db)
+        t_big = min(t_big, time.perf_counter() - t0)
+    per_msg = max(t_big - t_small, 1e-12) / (_FUSE_PROBE_BATCH - 1)
+    return int(min(_FUSED_BATCH_CEIL, max(_FUSED_BATCH_FLOOR, t_small / per_msg)))
+
+
+def _fused_batch_limit(topo: Topology) -> int:
+    """The (memoised) avg-batch fusion ceiling for this (topology, p)."""
+    key = (topo.name, topo.p)
+    with _cache_lock:
+        cached = _fuse_limits.get(key)
+    if cached is not None:
+        return cached
+    limit = _measure_batch_limit(topo)  # unlocked: timing must not serialise
+    with _cache_lock:
+        return _fuse_limits.setdefault(key, limit)
 
 
 @dataclass(frozen=True)
@@ -253,15 +331,16 @@ def route_trace(
     their messages still cost a barrier) comes from the memoised folding
     kernels.  When the trace is many small supersteps (dense
     (superstep, edge) grid below ``2**21`` cells, average batch below
-    ``512`` messages) and the policy supports it, all supersteps are
-    routed in one fused kernel pass per phase; otherwise
+    the cell's measured launch-overhead crossover — see
+    :func:`fuse_gate_stats`) and the policy supports it, all supersteps
+    are routed in one fused kernel pass per phase; otherwise
     each superstep's endpoint range is sliced out of the folded columns
     and routed as one batch (empty supersteps short-circuit to
     barrier-only cost).  Both paths are bit-identical.  The profile is
     memoised per (trace, topology, policy); cached arrays are read-only.
     """
     policy = policy or _DIRECT
-    global _cache_hits, _cache_misses
+    global _cache_hits, _cache_misses, _cache_evictions
     token = getattr(trace, "cache_token", None)
     key = None
     if token is not None:
@@ -281,7 +360,7 @@ def route_trace(
     if (
         S > 1
         and S * topo.num_edges() <= _FUSED_MAX_CELLS
-        and cols.num_messages <= S * _FUSED_MAX_AVG_BATCH
+        and cols.num_messages <= S * _fused_batch_limit(topo)
     ):
         arrays = _profile_arrays_fused(topo, policy, cols)
     if arrays is None:
@@ -303,4 +382,5 @@ def route_trace(
             _cache[key] = profile
             if len(_cache) > _CACHE_MAX:
                 _cache.popitem(last=False)
+                _cache_evictions += 1
     return profile

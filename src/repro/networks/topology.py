@@ -105,6 +105,78 @@ def _ring_runs(
     return starts, ends
 
 
+def _path_offsets(lengths: np.ndarray) -> np.ndarray:
+    """CSR offsets of per-message path lengths."""
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    return offsets
+
+
+def _run_path_edges(
+    start: np.ndarray,
+    length: np.ndarray,
+    forward: np.ndarray,
+    base: np.ndarray,
+    ring: int,
+) -> np.ndarray:
+    """Hop-ordered edge ids of ring runs starting at node ``start``.
+
+    A forward run from node ``s`` traverses edges ``s, s+1, ...``; a
+    backward run traverses ``s-1, s-2, ...`` (edge ``e`` connects
+    ``e -> e+1``), all mod ``ring`` inside the edge-id block starting at
+    ``base``.  The result is message-major, hop order within each run.
+    """
+    total = int(length.sum())
+    off = _path_offsets(length)
+    j = np.arange(total, dtype=np.int64) - np.repeat(off[:-1], length)
+    s = np.repeat(start, length)
+    step = np.where(np.repeat(forward, length), j, -1 - j)
+    return np.repeat(base, length) + (s + step) % ring
+
+
+def _paths_from_segments(
+    segments: list[tuple[np.ndarray, np.ndarray]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble per-message path segments into one hop-ordered CSR.
+
+    Each ``(lengths, edges)`` entry holds, message-major, the edges of
+    one path segment; message ``t`` traverses segment ``k``'s edges
+    after segment ``k-1``'s.  Returns ``(offsets, edges)`` with message
+    ``t``'s full path at ``edges[offsets[t]:offsets[t+1]]``.
+    """
+    total_len = segments[0][0].copy()
+    for lens, _ in segments[1:]:
+        total_len += lens
+    offsets = _path_offsets(total_len)
+    out = np.empty(int(offsets[-1]), dtype=np.int64)
+    shift = offsets[:-1].copy()
+    for lens, vals in segments:
+        seg_off = _path_offsets(lens)
+        within = np.arange(vals.size, dtype=np.int64) - np.repeat(seg_off[:-1], lens)
+        out[np.repeat(shift, lens) + within] = vals
+        shift += lens
+    return offsets, out
+
+
+def _sorted_paths(
+    lengths: np.ndarray,
+    msg_chunks: list[np.ndarray],
+    edge_chunks: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR paths from (message, edge) chunks emitted in hop order.
+
+    Level-synchronous routers emit each hop's edges across all messages
+    at once; a stable sort by message id regroups them message-major
+    while preserving the per-message hop order.
+    """
+    offsets = _path_offsets(lengths)
+    if not msg_chunks:
+        return offsets, np.empty(0, dtype=np.int64)
+    msg = np.concatenate(msg_chunks)
+    edges = np.concatenate(edge_chunks)
+    return offsets, edges[np.argsort(msg, kind="stable")]
+
+
 @dataclass
 class Topology:
     """Base: a network with ``p`` processor slots and capacitated edges."""
@@ -167,6 +239,23 @@ class Topology:
         """Per-message oracle for :meth:`route_loads` (bit-identical)."""
         raise NotImplementedError
 
+    def route_paths(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Hop-ordered edge paths of every (src, dst) pair, batched.
+
+        Returns CSR ``(offsets, edges)``: message ``t`` traverses
+        ``edges[offsets[t]:offsets[t+1]]`` in order (empty for
+        self-messages).  The path multiset agrees with
+        :meth:`route_loads` — ``bincount(edges) == loads`` and per-path
+        lengths equal :meth:`pair_distance` — a property-tested
+        invariant of every shipped topology.  This is the per-hop view
+        the cycle-accurate simulator (:mod:`repro.sim`) consumes;
+        :meth:`route_loads` remains the cheap aggregate for analytic
+        pricing.
+        """
+        raise NotImplementedError
+
     def pair_distance(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
         """Routed path length of each (src, dst) pair (0 for self-messages).
 
@@ -227,6 +316,16 @@ class Ring(Topology):
         starts, ends = _ring_runs(start[move], length[move], (seg * p)[move], p)
         loads = _interval_loads(starts, ends, num_segs * p)
         return loads.reshape(num_segs, p).astype(np.float64)
+
+    def route_paths(self, src, dst):
+        p = self.p
+        fwd = (dst - src) % p
+        bwd = (src - dst) % p
+        length = np.minimum(fwd, bwd)
+        edges = _run_path_edges(
+            src, length, fwd <= bwd, np.zeros(src.size, dtype=np.int64), p
+        )
+        return _path_offsets(length), edges
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.p)
@@ -331,6 +430,20 @@ class Mesh2D(Topology):
         )
         loads = _interval_loads(starts, ends, num_segs * E)
         return loads.reshape(num_segs, E).astype(np.float64)
+
+    def route_paths(self, src, dst):
+        # Same dimension order as route_loads: horizontal along the
+        # source row, then vertical along the destination column.  Mesh
+        # runs never wrap, so the ring-run expansion is exact.
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        sx = max(self.side, self.side_y)
+        off = sx * sx
+        hlen = np.abs(c2 - c1)
+        vlen = np.abs(r2 - r1)
+        hedges = _run_path_edges(c1, hlen, c2 >= c1, r1 * sx, sx)
+        vedges = _run_path_edges(r1, vlen, r2 >= r1, off + c2 * sx, sx)
+        return _paths_from_segments([(hlen, hedges), (vlen, vedges)])
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
@@ -449,6 +562,21 @@ class Torus2D(Topology):
         )
         return loads.reshape(num_segs, E).astype(np.float64)
 
+    def route_paths(self, src, dst):
+        r1, c1 = self.row[src], self.col[src]
+        r2, c2 = self.row[dst], self.col[dst]
+        fwd_c = (c2 - c1) % self.w
+        bwd_c = (c1 - c2) % self.w
+        fwd_r = (r2 - r1) % self.h
+        bwd_r = (r1 - r2) % self.h
+        len_c = np.minimum(fwd_c, bwd_c)
+        len_r = np.minimum(fwd_r, bwd_r)
+        hedges = _run_path_edges(c1, len_c, fwd_c <= bwd_c, r1 * self.w, self.w)
+        vedges = _run_path_edges(
+            r1, len_r, fwd_r <= bwd_r, self.p + c2 * self.h, self.h
+        )
+        return _paths_from_segments([(len_c, hedges), (len_r, vedges)])
+
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
         if src.size == 0:
@@ -538,6 +666,22 @@ class Hypercube(Topology):
                 )
                 cur = cur ^ (flip.astype(np.int64) << d)
         return loads.reshape(num_segs, E).astype(np.float64)
+
+    def route_paths(self, src, dst):
+        # Dimension-order: bits corrected low to high, one edge each —
+        # the per-dimension chunks come out in hop order already.
+        diff = src ^ dst
+        lengths = np.bitwise_count(diff.astype(np.uint64)).astype(np.int64)
+        msg_chunks: list[np.ndarray] = []
+        edge_chunks: list[np.ndarray] = []
+        cur = src.copy()
+        for d in range(self.dims):
+            flip = (diff >> d) & 1 == 1
+            if flip.any():
+                msg_chunks.append(np.flatnonzero(flip))
+                edge_chunks.append(cur[flip] * self.dims + d)
+                cur = cur ^ (flip.astype(np.int64) << d)
+        return _sorted_paths(lengths, msg_chunks, edge_chunks)
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
@@ -637,6 +781,41 @@ class FatTree(Topology):
             a = np.where(up_a, (a - 1) >> 1, a)
             b = np.where(up_b, (b - 1) >> 1, b)
         return loads.reshape(num_segs, E).astype(np.float64)
+
+    def route_paths(self, src, dst):
+        # Leaves sit at equal depth, so lifting both endpoints together
+        # meets at the LCA: round r emits the src-side edge traversed at
+        # hop r (climbing) and the dst-side edge traversed at hop
+        # length-1-r (descending) — a lexsort by (message, hop) regroups
+        # them into the climb-then-descend walk.
+        lengths = 2 * _bit_length(src ^ dst)
+        offsets = _path_offsets(lengths)
+        a = src + self.p - 1
+        b = dst + self.p - 1
+        msg_chunks: list[np.ndarray] = []
+        hop_chunks: list[np.ndarray] = []
+        edge_chunks: list[np.ndarray] = []
+        r = 0
+        while True:
+            ne = a != b
+            if not ne.any():
+                break
+            idx = np.flatnonzero(ne)
+            msg_chunks += [idx, idx]
+            hop_chunks += [
+                np.full(idx.size, r, dtype=np.int64),
+                lengths[ne] - 1 - r,
+            ]
+            edge_chunks += [a[ne] - 1, b[ne] - 1]
+            a = np.where(ne, (a - 1) >> 1, a)
+            b = np.where(ne, (b - 1) >> 1, b)
+            r += 1
+        if not msg_chunks:
+            return offsets, np.empty(0, dtype=np.int64)
+        msg = np.concatenate(msg_chunks)
+        hop = np.concatenate(hop_chunks)
+        edges = np.concatenate(edge_chunks)
+        return offsets, edges[np.lexsort((hop, msg))]
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())
@@ -738,6 +917,28 @@ class Butterfly(Topology):
                 )
                 cur = cur ^ (cross.astype(np.int64) << l)
         return loads.reshape(num_segs, E).astype(np.float64)
+
+    def route_paths(self, src, dst):
+        # Levels are ascended in order, one edge per level, so the
+        # per-level chunks are already in hop order.
+        diff = src ^ dst
+        lengths = _bit_length(diff)
+        cross_base = self.dims * self.p
+        msg_chunks: list[np.ndarray] = []
+        edge_chunks: list[np.ndarray] = []
+        cur = src.copy()
+        for l in range(int(lengths.max(initial=0))):
+            active = (diff >> l) != 0
+            cross = active & (((diff >> l) & 1) == 1)
+            straight = active & ~cross
+            if straight.any():
+                msg_chunks.append(np.flatnonzero(straight))
+                edge_chunks.append(l * self.p + cur[straight])
+            if cross.any():
+                msg_chunks.append(np.flatnonzero(cross))
+                edge_chunks.append(cross_base + l * self.p + cur[cross])
+                cur = cur ^ (cross.astype(np.int64) << l)
+        return _sorted_paths(lengths, msg_chunks, edge_chunks)
 
     def route_loads_reference(self, src, dst):
         loads = np.zeros(self.num_edges())

@@ -1,0 +1,372 @@
+"""Cycle-accurate store-and-forward simulation of routed traces.
+
+The analytic engine (:mod:`repro.networks.routing`) prices a superstep
+as ``congestion + dilation + 1`` — the Leighton–Maggs–Rao guarantee that
+*some* schedule delivers every message in ``O(C + D)`` steps.  This
+module measures what an actual store-and-forward execution does: every
+message becomes a single flit walking its
+:meth:`~repro.networks.topology.Topology.route_paths` hop sequence, and
+every cycle each edge forwards as many queued flits as its bandwidth
+credit allows, under a pluggable :class:`~repro.sim.arbiter.Arbiter`.
+The measured/(C+D) ratio per superstep is the hidden LMR constant per
+(topology, policy) cell — and a cell where the analytic model is
+*optimistic* (ratio above the expected constant band) is exactly what
+this simulator exists to flag.
+
+Mechanics (one phase of one superstep):
+
+* flit ``t`` occupies hop ``pos[t]`` of its path; each cycle it bids for
+  the edge ``edges[offsets[t] + pos[t]]``;
+* an edge accrues ``capacity`` bandwidth credit per cycle *while it has
+  demand* (idle edges hold no credit — links cannot bank bandwidth) and
+  forwards ``floor(credit)`` flits, keeping the fractional remainder
+  while saturated; fractional capacities (the fat-tree's ``sqrt``
+  sizing) therefore serve their exact long-run rate;
+* the arbiter only orders the queue, so measured cycles satisfy
+  ``max(C, D) <= cycles <= (C + 1) * D`` per phase (each hop waits at
+  most the bottleneck's full service time) — the property-tested
+  bracket around the LMR ``O(C + D)`` schedule.
+
+The per-cycle advancement is vectorized over the flat (message, hop)
+arrays — one ``lexsort`` + ``bincount`` round per cycle, never a
+per-flit Python loop.  Whole traces are simulated by
+:func:`simulate_trace` into a columnar :class:`SimProfile`, memoised
+exactly like :class:`~repro.networks.routing.RoutedProfile` (keyed by
+trace identity+version x topology x policy x arbiter).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.folding import fold_trace
+from repro.machine.trace import Trace
+from repro.networks.policy import DimensionOrderPolicy, RoutingPolicy
+from repro.networks.routing import route_trace
+from repro.networks.topology import Topology
+from repro.sim.arbiter import Arbiter, by_arbiter
+
+__all__ = [
+    "SimProfile",
+    "simulate_trace",
+    "simulate_superstep",
+    "clear_sim_cache",
+    "sim_cache_stats",
+]
+
+_DIRECT = DimensionOrderPolicy()
+
+_CACHE_MAX = 128
+_cache: OrderedDict[tuple, "SimProfile"] = OrderedDict()
+#: Guards the LRU only (never the cycle loop), mirroring the routing LRU.
+_cache_lock = threading.Lock()
+_cache_hits = 0
+_cache_misses = 0
+_cache_evictions = 0
+
+
+def clear_sim_cache() -> None:
+    """Drop memoised sim profiles (mainly for tests and benchmarks)."""
+    global _cache_hits, _cache_misses, _cache_evictions
+    with _cache_lock:
+        _cache.clear()
+        _cache_hits = 0
+        _cache_misses = 0
+        _cache_evictions = 0
+
+
+def sim_cache_stats() -> dict[str, int]:
+    """Hit/miss/eviction counters of the sim-profile LRU."""
+    with _cache_lock:
+        return {
+            "hits": _cache_hits,
+            "misses": _cache_misses,
+            "evictions": _cache_evictions,
+        }
+
+
+@dataclass(frozen=True)
+class SimProfile:
+    """Columnar measured execution of one folded trace on one topology.
+
+    Parallel per-superstep arrays: ``cycles[s]`` is the measured
+    store-and-forward cycle count (summed over routing-policy phases),
+    ``congestion[s]``/``dilation[s]`` the analytic quantities of the
+    matching :class:`~repro.networks.routing.RoutedProfile`,
+    ``max_queue[s]`` the worst per-edge queue occupancy observed and
+    ``delivered[s]`` the cross-processor messages delivered.
+    ``edge_flits`` totals the flits forwarded per edge across the whole
+    trace (arbitration-independent: paths fix it).
+    """
+
+    topology: str
+    policy: str
+    arbiter: str
+    p: int
+    labels: np.ndarray
+    cycles: np.ndarray
+    congestion: np.ndarray
+    dilation: np.ndarray
+    max_queue: np.ndarray
+    delivered: np.ndarray
+    edge_flits: np.ndarray
+
+    @property
+    def num_supersteps(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def total_cycles(self) -> int:
+        return int(self.cycles.sum())
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.delivered.sum())
+
+    def edge_utilization(self, capacities: np.ndarray | None = None) -> np.ndarray:
+        """Per-edge utilization: flits forwarded / capacity-cycles offered.
+
+        With ``capacities`` omitted, unit capacities are assumed (exact
+        for every shipped topology except the fat-tree — pass
+        ``topo.edge_capacities()`` there).
+        """
+        total = max(self.total_cycles, 1)
+        caps = capacities if capacities is not None else 1.0
+        return self.edge_flits / (caps * total)
+
+    def bound_ratios(self) -> np.ndarray:
+        """Measured/(C+D) per superstep (NaN where nothing was routed).
+
+        This is the empirical LMR constant: the analytic engine charges
+        ``C + D`` communication steps, the simulator measures what a
+        real store-and-forward schedule needed.
+        """
+        denom = self.congestion + self.dilation
+        out = np.full(self.num_supersteps, np.nan)
+        busy = denom > 0
+        np.divide(self.cycles, denom, out=out, where=busy)
+        return out
+
+    @property
+    def overall_ratio(self) -> float | None:
+        """Trace-total measured/(C+D) (None when nothing was routed)."""
+        denom = float(self.congestion.sum() + self.dilation.sum())
+        return self.total_cycles / denom if denom else None
+
+    @property
+    def max_ratio(self) -> float:
+        """Worst per-superstep measured/(C+D) over the trace (0 if idle)."""
+        ratios = self.bound_ratios()
+        finite = ratios[~np.isnan(ratios)]
+        return float(finite.max()) if finite.size else 0.0
+
+    @property
+    def mean_ratio(self) -> float:
+        """Message-weighted mean measured/(C+D) over non-empty supersteps."""
+        ratios = self.bound_ratios()
+        busy = ~np.isnan(ratios)
+        if not busy.any():
+            return 0.0
+        weights = self.delivered[busy].astype(np.float64)
+        total = weights.sum()
+        if total == 0:
+            return float(ratios[busy].mean())
+        return float((ratios[busy] * weights).sum() / total)
+
+
+def _run_phase(
+    caps: np.ndarray,
+    offsets: np.ndarray,
+    edges: np.ndarray,
+    arbiter: Arbiter,
+    step: int,
+    phase: int,
+    edge_flits: np.ndarray,
+) -> tuple[int, int]:
+    """Simulate one routing phase to completion; (cycles, max queue).
+
+    ``offsets``/``edges`` are the CSR hop paths of the phase's flits in
+    emission order; ``edge_flits`` is accumulated in place.
+    """
+    E = caps.size
+    lengths = np.diff(offsets)
+    pos = np.zeros(lengths.size, dtype=np.int64)
+    active = np.flatnonzero(lengths > 0)
+    credits = np.zeros(E)
+    cycles = 0
+    max_queue = 0
+    while active.size:
+        want = edges[offsets[active] + pos[active]]
+        queue = np.bincount(want, minlength=E)
+        busy = queue > 0
+        max_queue = max(max_queue, int(queue.max()))
+        # Demand-gated credit accrual: a saturated edge carries its
+        # fractional remainder (long-run rate exactly `capacity`), an
+        # idle edge banks nothing, a demand-limited edge forfeits the
+        # bandwidth it could not use.
+        credits[busy] += caps[busy]
+        credits[~busy] = 0.0
+        avail = np.floor(credits).astype(np.int64)
+        remaining = lengths[active] - pos[active]
+        prio = arbiter.priorities(step, phase, cycles, active, remaining)
+        order = np.lexsort((prio, want))  # stable: ties keep emission order
+        w_sorted = want[order]
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(w_sorted)) + 1))
+        counts = np.diff(np.concatenate((starts, [w_sorted.size])))
+        rank = np.arange(w_sorted.size, dtype=np.int64) - np.repeat(starts, counts)
+        winners = rank < avail[w_sorted]
+        served = np.bincount(w_sorted[winners], minlength=E)
+        edge_flits += served
+        credits -= served
+        spare = busy & (avail > queue)
+        credits[spare] %= 1.0
+        pos[active[order[winners]]] += 1
+        active = active[pos[active] < lengths[active]]
+        cycles += 1
+    return cycles, max_queue
+
+
+def _simulate_batch(
+    topo: Topology,
+    caps: np.ndarray,
+    policy: RoutingPolicy,
+    arbiter: Arbiter,
+    step: int,
+    label: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    edge_flits: np.ndarray,
+) -> tuple[int, int]:
+    """One superstep's batch through every policy phase; (cycles, max queue).
+
+    Phases execute sequentially — phase 2 starts only after phase 1
+    fully delivers, matching the analytic engine's summed per-phase
+    congestion/dilation.  ``edge_flits`` is accumulated in place.
+    """
+    cycles, max_queue = 0, 0
+    for ph, (ph_src, ph_dst) in enumerate(
+        policy.phases(topo, step, label, src, dst)
+    ):
+        cross = ph_src != ph_dst  # policy legs may introduce self-messages
+        ph_src, ph_dst = ph_src[cross], ph_dst[cross]
+        if ph_src.size == 0:
+            continue
+        poff, pedges = topo.route_paths(ph_src, ph_dst)
+        c, q = _run_phase(caps, poff, pedges, arbiter, step, ph, edge_flits)
+        cycles += c
+        max_queue = max(max_queue, q)
+    return cycles, max_queue
+
+
+def simulate_superstep(
+    topo: Topology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    policy: RoutingPolicy | None = None,
+    arbiter: Arbiter | str = "fifo",
+    *,
+    step: int = 0,
+    label: int = 0,
+    seed: int = 0,
+) -> tuple[int, int, int]:
+    """Measured (cycles, max queue, delivered) of one superstep's batch.
+
+    ``step``/``label`` follow the
+    :func:`~repro.networks.routing.superstep_time` convention.
+    """
+    if isinstance(arbiter, str):
+        arbiter = by_arbiter(arbiter, seed)
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    edge_flits = np.zeros(topo.num_edges(), dtype=np.int64)
+    cycles, max_queue = 0, 0
+    if src.size:
+        cycles, max_queue = _simulate_batch(
+            topo, topo.edge_capacities(), policy or _DIRECT, arbiter,
+            step, label, src, dst, edge_flits,
+        )
+    return cycles, max_queue, int(src.size)
+
+
+def simulate_trace(
+    trace: Trace,
+    topo: Topology,
+    policy: RoutingPolicy | None = None,
+    arbiter: Arbiter | str = "fifo",
+    *,
+    seed: int = 0,
+) -> SimProfile:
+    """Simulate an entire trace, folded onto ``topo.p``, cycle by cycle.
+
+    Consumes the same columnar artifacts as
+    :func:`~repro.networks.routing.route_trace` — the memoised
+    ``keep_empty`` fold and the policy's per-superstep phase batches —
+    so a sim profile and its analytic twin describe the identical
+    message sets.  The analytic congestion/dilation columns are copied
+    straight from the memoised :class:`RoutedProfile`, which makes
+    ``measured/(C+D)`` comparisons self-consistent by construction.
+    Profiles are memoised per (trace, topology, policy, arbiter);
+    cached arrays are read-only.
+    """
+    policy = policy or _DIRECT
+    if isinstance(arbiter, str):
+        arbiter = by_arbiter(arbiter, seed)
+    global _cache_hits, _cache_misses, _cache_evictions
+    token = getattr(trace, "cache_token", None)
+    key = None
+    if token is not None:
+        key = (token, topo.name, topo.p, policy.cache_key(), arbiter.cache_key())
+        with _cache_lock:
+            cached = _cache.get(key)
+            if cached is not None:
+                _cache.move_to_end(key)
+                _cache_hits += 1
+                return cached
+            _cache_misses += 1
+
+    routed = route_trace(trace, topo, policy)
+    cols = fold_trace(trace, topo.p, keep_empty=True).columns()
+    caps = topo.edge_capacities()
+    S = cols.num_supersteps
+    cycles = np.zeros(S, dtype=np.int64)
+    max_queue = np.zeros(S, dtype=np.int64)
+    delivered = np.zeros(S, dtype=np.int64)
+    edge_flits = np.zeros(topo.num_edges(), dtype=np.int64)
+    offsets, src, dst = cols.offsets, cols.src, cols.dst
+    for s in range(S):
+        lo, hi = int(offsets[s]), int(offsets[s + 1])
+        if hi == lo:
+            continue  # barrier-only superstep: nothing to move
+        cycles[s], max_queue[s] = _simulate_batch(
+            topo, caps, policy, arbiter, s, int(cols.labels[s]),
+            src[lo:hi], dst[lo:hi], edge_flits,
+        )
+        delivered[s] = hi - lo
+    for arr in (cycles, max_queue, delivered, edge_flits):
+        arr.setflags(write=False)
+    profile = SimProfile(
+        topology=topo.name,
+        policy=policy.name,
+        arbiter=arbiter.name,
+        p=topo.p,
+        labels=cols.labels,
+        cycles=cycles,
+        congestion=routed.congestion,
+        dilation=routed.dilation,
+        max_queue=max_queue,
+        delivered=delivered,
+        edge_flits=edge_flits,
+    )
+    if key is not None:
+        with _cache_lock:
+            _cache[key] = profile
+            if len(_cache) > _CACHE_MAX:
+                _cache.popitem(last=False)
+                _cache_evictions += 1
+    return profile

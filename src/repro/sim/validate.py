@@ -1,0 +1,99 @@
+"""The congestion+dilation bound check: measured vs analytic pricing.
+
+:func:`validate_bound` runs the cycle-accurate simulator on a trace and
+reports the per-superstep ``measured/(C+D)`` ratio — the hidden constant
+of the Leighton–Maggs–Rao ``O(C+D)`` schedulability guarantee that the
+D-BSP cost model leans on.  A healthy (topology, policy) cell keeps the
+ratio inside a modest constant band; a cell above ``threshold`` marks
+the analytic price as *optimistic* for that workload and is exactly the
+signal the ROADMAP's cycle-accurate open item asked for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.trace import Trace
+from repro.networks.policy import RoutingPolicy
+from repro.networks.topology import Topology
+from repro.sim.arbiter import Arbiter
+from repro.sim.engine import SimProfile, simulate_trace
+
+__all__ = ["BoundReport", "validate_bound"]
+
+#: Default optimism threshold: the acceptance band for the measured LMR
+#: constant on every shipped (topology, policy) cell.
+DEFAULT_THRESHOLD = 4.0
+
+
+@dataclass(frozen=True)
+class BoundReport:
+    """Per-superstep measured/(C+D) ratios of one simulated trace."""
+
+    profile: SimProfile
+    ratios: np.ndarray
+    threshold: float
+
+    @property
+    def max_ratio(self) -> float:
+        return self.profile.max_ratio
+
+    @property
+    def mean_ratio(self) -> float:
+        return self.profile.mean_ratio
+
+    @property
+    def ok(self) -> bool:
+        """Whether every superstep's constant stays under the threshold."""
+        return self.max_ratio <= self.threshold
+
+    @property
+    def worst_superstep(self) -> int | None:
+        """Index of the superstep with the largest ratio (None if idle)."""
+        finite = ~np.isnan(self.ratios)
+        if not finite.any():
+            return None
+        masked = np.where(finite, self.ratios, -np.inf)
+        return int(np.argmax(masked))
+
+    def optimistic_supersteps(self) -> np.ndarray:
+        """Supersteps where the analytic price undershoots by > threshold."""
+        with np.errstate(invalid="ignore"):
+            return np.flatnonzero(self.ratios > self.threshold)
+
+    def summary(self) -> dict:
+        """Flat facts for tables and JSON baselines."""
+        return {
+            "topology": self.profile.topology,
+            "policy": self.profile.policy,
+            "arbiter": self.profile.arbiter,
+            "p": self.profile.p,
+            "cycles": self.profile.total_cycles,
+            "max_ratio": round(self.max_ratio, 4),
+            "mean_ratio": round(self.mean_ratio, 4),
+            "ok": self.ok,
+        }
+
+
+def validate_bound(
+    trace: Trace,
+    topo: Topology,
+    policy: RoutingPolicy | None = None,
+    arbiter: Arbiter | str = "fifo",
+    *,
+    seed: int = 0,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> BoundReport:
+    """Simulate ``trace`` on ``topo`` and bracket the LMR constant.
+
+    Returns a :class:`BoundReport` whose ``ratios[s]`` is the measured
+    store-and-forward cycles of superstep ``s`` divided by its analytic
+    ``congestion + dilation`` price (NaN for barrier-only supersteps).
+    ``report.ok`` says every superstep stayed within ``threshold``.
+    """
+    profile = simulate_trace(trace, topo, policy, arbiter, seed=seed)
+    return BoundReport(
+        profile=profile, ratios=profile.bound_ratios(), threshold=float(threshold)
+    )

@@ -216,6 +216,44 @@ class TestPipeline:
 
 
 # ----------------------------------------------------------------------
+# Cache observability: hits, misses *and* evictions
+# ----------------------------------------------------------------------
+class TestCacheStats:
+    def test_route_cache_reports_evictions(self, monkeypatch):
+        import repro.networks.routing as routing
+
+        clear_route_cache()
+        monkeypatch.setattr(routing, "_CACHE_MAX", 2)
+        trace = run("prefix", n=64, seed=1).trace
+        for name in ("ring", "mesh2d", "hypercube", "butterfly"):
+            route_trace(trace, topo_by_name(name, 8))
+        stats = route_cache_stats()
+        assert stats["misses"] == 4 and stats["evictions"] == 2
+        # Hitting a surviving entry adds a hit, never an eviction.
+        route_trace(trace, topo_by_name("butterfly", 8))
+        after = route_cache_stats()
+        assert after["hits"] == stats["hits"] + 1
+        assert after["evictions"] == stats["evictions"]
+        clear_route_cache()
+        assert route_cache_stats() == {"hits": 0, "misses": 0, "evictions": 0}
+
+    def test_fold_cache_reports_evictions(self, monkeypatch):
+        import repro.machine.folding as folding
+
+        clear_fold_cache()
+        monkeypatch.setattr(folding, "_CACHE_MAX", 2)
+        trace = run("prefix", n=64, seed=2).trace
+        before = fold_cache_stats()
+        for p in (2, 4, 8, 16):
+            folding.fold_degrees(trace, p)
+        stats = fold_cache_stats()
+        assert stats["misses"] >= before["misses"] + 4
+        assert stats["evictions"] >= 2
+        clear_fold_cache()
+        assert fold_cache_stats() == {"hits": 0, "misses": 0, "evictions": 0}
+
+
+# ----------------------------------------------------------------------
 # ExperimentPlan
 # ----------------------------------------------------------------------
 class TestExperimentPlan:

@@ -71,7 +71,7 @@ def test_route_trace_falls_back_above_gate(monkeypatch, traces):
     policy = by_policy("valiant", seed=2)
     trace = traces["prefix"]  # many small supersteps: inside the fuse gate
     cols = fold_trace(trace, 16, keep_empty=True).columns()
-    assert cols.num_messages <= cols.num_supersteps * routing._FUSED_MAX_AVG_BATCH
+    assert cols.num_messages <= cols.num_supersteps * routing._fused_batch_limit(topo)
     routing.clear_route_cache()
     fused_profile = route_trace(trace, topo, policy)
     monkeypatch.setattr(routing, "_FUSED_MAX_CELLS", 0)
@@ -114,3 +114,40 @@ def test_unfusible_topology_falls_back_to_loop(traces):
 
 def test_fused_gate_constant_sane():
     assert _FUSED_MAX_CELLS >= 1 << 20
+
+
+class TestAdaptiveFuseGate:
+    def test_limit_measured_once_per_cell_and_clamped(self):
+        import repro.networks.routing as routing
+
+        routing.clear_fuse_gate()
+        topo = by_name("torus2d", 16)
+        limit = routing._fused_batch_limit(topo)
+        assert routing._FUSED_BATCH_FLOOR <= limit <= routing._FUSED_BATCH_CEIL
+        # Memoised per (topology, p): the second call returns the
+        # recorded decision, and the stats hook exposes it.
+        assert routing._fused_batch_limit(topo) == limit
+        stats = routing.fuse_gate_stats()
+        assert stats[("torus2d", 16)] == limit
+        # A different fold target of the same topology is its own cell.
+        routing._fused_batch_limit(by_name("torus2d", 4))
+        assert ("torus2d", 4) in routing.fuse_gate_stats()
+        routing.clear_fuse_gate()
+        assert routing.fuse_gate_stats() == {}
+
+    def test_gate_decision_never_changes_results(self, traces, monkeypatch):
+        """Whatever the measured limit says, profiles are bit-identical
+        (the gate is throughput-only) — pin both extremes."""
+        import repro.networks.routing as routing
+
+        topo = by_name("hypercube", 16)
+        trace = traces["fft"]
+        profiles = []
+        for forced in (routing._FUSED_BATCH_FLOOR, routing._FUSED_BATCH_CEIL):
+            monkeypatch.setattr(
+                routing, "_fused_batch_limit", lambda t, _f=forced: _f
+            )
+            routing.clear_route_cache()
+            profiles.append(route_trace(trace, topo))
+        assert np.array_equal(profiles[0].time, profiles[1].time)
+        routing.clear_route_cache()
