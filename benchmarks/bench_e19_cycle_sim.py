@@ -14,6 +14,11 @@ values below 1 simply reflect C+D double-counting the bottleneck flit's
 own travel), and never exceeds 4 at the default FIFO arbitration — the
 acceptance band recorded into ``BENCH_baseline.json`` as
 ``e19_sim_bound_constants``.
+
+Two timed sweeps cover both executors: ``run_sweep`` drives the
+pure-numpy fast engine (cross-cell batched via ``validate_grid``) and
+``run_sweep_reference`` the per-cycle reference loop — their ratio is
+the recorded engine speedup, their reports are bit-identical.
 """
 
 import time
@@ -22,7 +27,7 @@ import numpy as np
 
 from _util import emit_table, flatness
 from repro.networks import TOPOLOGIES, by_name, by_policy, route_trace
-from repro.sim import clear_sim_cache, validate_bound
+from repro.sim import clear_sim_cache, validate_grid
 
 #: The E11 trio at its classic operating points.
 SCALE = (("matmul", 256, 64), ("fft", 1024, 16), ("sort", 1024, 8))
@@ -56,32 +61,56 @@ def _cells(cfg) -> list:
     return _sources[key]
 
 
-def _reports(cfg) -> list:
-    """Per-cell bound reports (rides whatever is in the sim LRU)."""
+def _reports(cfg, engine=None, flits=1) -> list:
+    """Per-cell bound reports (rides whatever is in the sim LRU).
+
+    Uses the batched :func:`validate_grid` so a cold sweep fuses every
+    cache-missing cell into one cycle loop — reports stay bit-identical
+    to per-cell :func:`validate_bound` calls.
+    """
+    cells = _cells(cfg)
+    reports = validate_grid(
+        [(trace, topo, policy) for _, trace, topo, policy in cells],
+        flits_per_message=flits,
+        engine=engine,
+    )
     return [
-        (label, topo.name, policy.name, validate_bound(trace, topo, policy))
-        for label, trace, topo, policy in _cells(cfg)
+        (label, topo.name, policy.name, report)
+        for (label, _, topo, policy), report in zip(cells, reports)
     ]
 
 
 def run_sweep(cfg=SCALE):
-    """Simulate the whole grid cold and collect per-cell bound reports."""
+    """Simulate the whole grid cold through the pure-numpy fast engine.
+
+    ``engine="fast"`` pins the vectorized path with the numba kernel
+    off, so the recorded timing is reproducible on hosts without numba.
+    """
     _cells(cfg)
     clear_sim_cache()
-    return _reports(cfg)
+    return _reports(cfg, engine="fast")
 
 
-def bound_table(cfg=SCALE) -> dict[str, float]:
-    """(topology/policy) -> worst measured/(C+D) constant over the grid.
+def run_sweep_reference(cfg=SCALE):
+    """The same grid through the reference per-cycle loop (the timing
+    denominator of ``e19_sim_engine_speedup_fast_vs_reference``)."""
+    _cells(cfg)
+    clear_sim_cache()
+    return _reports(cfg, engine="reference")
+
+
+def bound_table(cfg=SCALE, flits: int = 1) -> dict[str, float]:
+    """(topology/policy) -> worst measured/(F*C+D) constant over the grid.
 
     This is the table ``record_baseline.py`` persists into
     ``BENCH_baseline.json``: one hidden LMR constant per cell of the E11
     grid (max over algorithms and supersteps).  Unlike :func:`run_sweep`
-    it does not clear the sim LRU, so reading the table after a timed
-    sweep is pure cache hits.
+    it does not clear the sim LRU, so reading the ``flits=1`` table
+    after a timed sweep is pure cache hits; ``flits > 1`` tables
+    simulate the grid at that serialisation factor.
     """
     table: dict[str, float] = {}
-    for _, topo_name, policy_name, report in _reports(cfg):
+    for _, topo_name, policy_name, report in _reports(cfg, flits=flits):
         cell = f"{topo_name}/{policy_name}"
         table[cell] = round(max(table.get(cell, 0.0), report.max_ratio), 4)
     return table

@@ -9,6 +9,12 @@ them into ``BENCH_baseline.json`` at the repo root under a tag::
 Tags accumulate — recording ``before`` on one commit and ``after`` on the
 next gives the PR's perf trajectory its data points.  ``speedup_vs_before``
 is recomputed whenever both tags are present.
+
+``--compare`` re-times the workloads without writing and exits nonzero
+when any recorded workload regresses by more than 20% against the
+``--tag`` recording — the guard CI (or a pre-merge run) can lean on::
+
+    PYTHONPATH=src python benchmarks/record_baseline.py --tag after --compare
 """
 
 from __future__ import annotations
@@ -38,8 +44,12 @@ WORKLOADS = [
     ("bench_e18_plan_executor", "run_sweep", "e18_plan_serial"),
     ("bench_e18_plan_executor", "run_sweep_parallel", "e18_plan_workerpool"),
     ("bench_e18_plan_executor", "run_sweep_legacy", "e18_plan_legacy_loop"),
-    ("bench_e19_cycle_sim", "run_sweep", "e19_cycle_sim"),
+    ("bench_e19_cycle_sim", "run_sweep_reference", "e19_cycle_sim"),
+    ("bench_e19_cycle_sim", "run_sweep", "e19_cycle_sim_fast"),
 ]
+
+#: --compare: fail when a workload is this much slower than the recording.
+REGRESSION_TOLERANCE = 0.20
 
 
 def _load(module_name: str):
@@ -71,15 +81,54 @@ def time_workloads(repeats: int) -> tuple[dict[str, float], dict[str, object]]:
     return out, mods
 
 
+def compare(data: dict, tag: str, repeats: int) -> int:
+    """Re-time the workloads and fail on >20% regressions vs ``tag``.
+
+    Returns a process exit code: 0 when every recorded workload stays
+    within :data:`REGRESSION_TOLERANCE` of its baseline, 1 otherwise
+    (new workloads without a recording are reported, never fatal).
+    """
+    if tag not in data:
+        print(f"no recording tagged {tag!r} in {BASELINE_PATH}")
+        return 2
+    baseline = data[tag]["seconds"]
+    seconds, _ = time_workloads(repeats)
+    failures = []
+    for name, now in seconds.items():
+        then = baseline.get(name)
+        if then is None:
+            print(f"{name}: no baseline (new workload), skipping")
+            continue
+        ratio = now / then if then > 0 else float("inf")
+        verdict = "ok" if ratio <= 1.0 + REGRESSION_TOLERANCE else "REGRESSION"
+        print(f"{name}: {now:.3f}s vs {then:.3f}s ({ratio:.2f}x) {verdict}")
+        if verdict != "ok":
+            failures.append(name)
+    if failures:
+        print(f"regressed beyond {REGRESSION_TOLERANCE:.0%}: {', '.join(failures)}")
+        return 1
+    print("no regressions")
+    return 0
+
+
 def main() -> None:
     ap = argparse.ArgumentParser()
     ap.add_argument("--tag", required=True, help="label for this recording, e.g. before/after")
     ap.add_argument("--repeats", type=int, default=2, help="take the best of N runs")
+    ap.add_argument(
+        "--compare",
+        action="store_true",
+        help="re-time and fail on >20%% regression vs the --tag recording "
+        "instead of writing a new one",
+    )
     args = ap.parse_args()
 
     data = {}
     if BASELINE_PATH.exists():
         data = json.loads(BASELINE_PATH.read_text())
+
+    if args.compare:
+        raise SystemExit(compare(data, args.tag, args.repeats))
 
     seconds, mods = time_workloads(args.repeats)
     data[args.tag] = {
@@ -119,6 +168,18 @@ def main() -> None:
     constants = mods["bench_e19_cycle_sim"].bound_table()
     data["e19_sim_bound_constants"] = constants
     data["e19_sim_bound_constant_max"] = max(constants.values())
+    # The same constants at 4 flits per message: congestion serialises
+    # (the analytic price becomes F*C + D) while dilation does not, so
+    # the band tightens toward 1 as bandwidth terms dominate.
+    flits4 = mods["bench_e19_cycle_sim"].bound_table(flits=4)
+    data["e19_sim_bound_constants_flits4"] = flits4
+    data["e19_sim_bound_constant_max_flits4"] = max(flits4.values())
+    # The engine speedup on identical (bit-identical, in fact) work.
+    sim_ref, sim_fast = sec.get("e19_cycle_sim"), sec.get("e19_cycle_sim_fast")
+    if sim_ref and sim_fast:
+        data["e19_sim_engine_speedup_fast_vs_reference"] = round(
+            sim_ref / sim_fast, 2
+        )
     BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {BASELINE_PATH}")
 

@@ -84,9 +84,10 @@ def _cmd_sim(args: argparse.Namespace) -> int:
     p = args.p if args.p is not None else trace.v
     topologies = args.topologies.split(",") if args.topologies else sorted(TOPOLOGIES)
     policies = args.policies.split(",") if args.policies else sorted(POLICIES)
+    flits_note = f", flits={args.flits}" if args.flits != 1 else ""
     print(
         f"{args.algorithm} n={pipe.metrics().n} folded to p={p}, "
-        f"arbiter={args.arbiter}: measured/(C+D) per superstep "
+        f"arbiter={args.arbiter}{flits_note}: measured/(C+D) per superstep "
         f"(threshold {args.threshold:g})"
     )
     print(
@@ -104,6 +105,8 @@ def _cmd_sim(args: argparse.Namespace) -> int:
                 args.arbiter,
                 seed=args.seed,
                 threshold=args.threshold,
+                flits_per_message=args.flits,
+                engine=args.engine,
             )
             s = report.summary()
             worst = max(worst, s["max_ratio"])
@@ -165,6 +168,18 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=4.0,
         help="acceptable measured/(C+D) constant (default: 4)",
+    )
+    sim_p.add_argument(
+        "--flits",
+        type=int,
+        default=1,
+        help="flits per message (the analytic price becomes F*C + D)",
+    )
+    sim_p.add_argument(
+        "--engine",
+        choices=("auto", "fast", "reference"),
+        default=None,
+        help="cycle-loop executor (default: REPRO_SIM_ENGINE or auto)",
     )
 
     args = parser.parse_args(argv)

@@ -148,7 +148,18 @@ def _api_check(n: int, *, kappa: int = 2) -> None:
 
 
 def _api_emit(n: int, rng, *, kappa: int = 2) -> BroadcastResult:
-    return run(rng.random(n), kappa=kappa)
+    values = rng.random(n)
+    result = run(values, kappa=kappa)
+    result.oracle_input = values  # adapt replays the root value lazily
+    return result
+
+
+def _api_adapt(result: BroadcastResult) -> dict:
+    values = getattr(result, "oracle_input", None)
+    if values is None:  # result not emitted through the registry
+        return {}
+    oracle = np.full_like(values, values[0])
+    return {"correct": bool(np.array_equal(result.output, oracle))}
 
 
 register(
@@ -159,6 +170,7 @@ register(
         section="4.5",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(64, 256, 1024),
     )
 )

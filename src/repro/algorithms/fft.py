@@ -149,7 +149,17 @@ def _api_check(n: int, *, wise: bool = True) -> None:
 
 
 def _api_emit(n: int, rng, *, wise: bool = True) -> FFTResult:
-    return run(rng.random(n) + 1j * rng.random(n), wise=wise)
+    x = rng.random(n) + 1j * rng.random(n)
+    result = run(x, wise=wise)
+    result.oracle_input = x  # adapt computes the reference lazily
+    return result
+
+
+def _api_adapt(result: FFTResult) -> dict:
+    x = getattr(result, "oracle_input", None)
+    if x is None:  # result not emitted through the registry
+        return {}
+    return {"correct": bool(np.allclose(result.output, np.fft.fft(x)))}
 
 
 register(
@@ -160,6 +170,7 @@ register(
         section="4.2",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(256, 1024, 4096),
     )
 )

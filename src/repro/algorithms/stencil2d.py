@@ -134,7 +134,37 @@ def _api_check(n: int, *, wise: bool = True, k: int | None = None,
 
 def _api_emit(n: int, rng, *, wise: bool = True, k: int | None = None,
               stages: int = STAGES) -> Stencil2DSchedule:
-    return generate(n, wise=wise, k=k, stages=stages)
+    result = generate(n, wise=wise, k=k, stages=stages)
+    result.oracle_input = (n, result.k, stages)  # adapt checks structure
+    return result
+
+
+def _superstep_count(P: int, m: int, k: int) -> int:
+    """Closed-form superstep recurrence of one stage's polyhedron."""
+    if P <= 1:
+        return 0
+    if m < k or P < k * k:
+        return max(1, 2 * m - 1)
+    return (4 * k - 3) * (1 + _superstep_count(P // (k * k), m // k, k))
+
+
+def _api_adapt(result: Stencil2DSchedule) -> dict:
+    """Structural oracle: the schedule carries no values, so correctness
+    means the trace realises the paper's recurrence — the expected
+    superstep count per stage and O(1) message degree per VP."""
+    inputs = getattr(result, "oracle_input", None)
+    if inputs is None:  # result not emitted through the registry
+        return {}
+    n, k, stages = inputs
+    cols = result.trace.columns()
+    expected = stages * (1 + _superstep_count(n * n, n, k))
+    ok = cols.num_supersteps == expected
+    offsets, src = cols.offsets, cols.src
+    for s in range(cols.num_supersteps):
+        lo, hi = int(offsets[s]), int(offsets[s + 1])
+        if hi > lo and int(np.bincount(src[lo:hi]).max()) > 2:
+            ok = False  # a VP sent more than O(1) boundary messages
+    return {"correct": bool(ok)}
 
 
 register(
@@ -145,6 +175,7 @@ register(
         section="4.4.2",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(4, 8, 16),
     )
 )

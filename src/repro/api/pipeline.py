@@ -217,18 +217,32 @@ class Pipeline:
         )
 
     def simulate(
-        self, arbiter: str | Arbiter = "fifo", *, seed: int = 0
+        self,
+        arbiter: str | Arbiter = "fifo",
+        *,
+        seed: int = 0,
+        flits_per_message: int = 1,
+        engine: str | None = None,
     ) -> "Pipeline":
         """Cycle-accurately execute the chain's routed trace (lazy).
 
         Continues the nearest ``.route(...)`` stage: the same folded
         message batches the analytic profile prices are walked hop by
         hop through :func:`repro.sim.simulate_trace` under ``arbiter``.
-        Access the measured :class:`~repro.sim.SimProfile` via
-        :attr:`sim_profile`; ``metrics()`` rows gain ``sim_cycles`` and
-        ``sim_over_cd`` (the empirical LMR constant).
+        ``flits_per_message`` serialises each message into that many
+        flits (the analytic price becomes ``F*C + D``); ``engine``
+        picks the executor (``auto``/``fast``/``reference``, default
+        the ``REPRO_SIM_ENGINE`` environment variable).  Access the
+        measured :class:`~repro.sim.SimProfile` via :attr:`sim_profile`;
+        ``metrics()`` rows gain ``sim_cycles`` and ``sim_over_cd`` (the
+        empirical LMR constant).
         """
-        return Pipeline("sim", self, self._source, arbiter=arbiter, seed=int(seed))
+        if int(flits_per_message) < 1:
+            raise ValueError("flits_per_message must be >= 1")
+        return Pipeline(
+            "sim", self, self._source, arbiter=arbiter, seed=int(seed),
+            flits=int(flits_per_message), engine=engine,
+        )
 
     # ------------------------------------------------------------------
     # Materialising accessors
@@ -329,6 +343,8 @@ class Pipeline:
             route._resolve_topology(),
             route._resolve_policy(),
             arbiter,
+            flits_per_message=self._args["flits"],
+            engine=self._args["engine"],
         )
 
     # ------------------------------------------------------------------

@@ -59,7 +59,8 @@ class PlanCell:
     D-BSP preset evaluation, ``topology``/``policy`` a routed profile
     (``relative_to_dbsp`` divides by the fitted D-BSP prediction).  A
     topology cell with ``mode="sim"`` additionally runs the
-    cycle-accurate simulator (:mod:`repro.sim`) under ``arbiter`` and
+    cycle-accurate simulator (:mod:`repro.sim`) under ``arbiter`` —
+    serialising each message into ``flits_per_message`` flits — and
     reports measured cycles next to the analytic price, so one frame
     sweeps analytic-vs-measured.
     """
@@ -76,6 +77,7 @@ class PlanCell:
     mode: str = "analytic"
     arbiter: str = "fifo"
     arbiter_seed: int = 0
+    flits_per_message: int = 1
     seed: int = 0
     params: tuple[tuple[str, Any], ...] = ()
 
@@ -239,7 +241,9 @@ class _PlanRuntime:
             )
             if cell.mode == "sim":
                 sim = simulate_trace(
-                    trace, topo, policy, cell.arbiter, seed=cell.arbiter_seed
+                    trace, topo, policy, cell.arbiter,
+                    seed=cell.arbiter_seed,
+                    flits_per_message=cell.flits_per_message,
                 )
                 row.update(
                     arbiter=sim.arbiter,
@@ -319,6 +323,7 @@ class ExperimentPlan:
         policy_seed: int = 0,
         arbiter: str = "fifo",
         arbiter_seed: int = 0,
+        flits_per_message: int = 1,
         seed: int = 0,
         params: Mapping[str, Any] | None = None,
         name: str = "grid",
@@ -361,6 +366,7 @@ class ExperimentPlan:
                                         mode=mode,
                                         arbiter=arbiter,
                                         arbiter_seed=arbiter_seed,
+                                        flits_per_message=flits_per_message,
                                     )
                                 )
                                 emitted = True
@@ -434,6 +440,10 @@ class ExperimentPlan:
                         f"unknown arbiter {cell.arbiter!r}; "
                         f"choose from {sorted(ARBITERS)}"
                     )
+            if cell.flits_per_message < 1:
+                raise ValueError(
+                    f"flits_per_message must be >= 1, got {cell.flits_per_message}"
+                )
             if cell.algorithm.startswith("@"):
                 if cell.algorithm[1:] not in self.sources:
                     raise KeyError(f"no source for {cell.algorithm!r}")

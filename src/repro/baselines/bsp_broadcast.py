@@ -55,7 +55,18 @@ def _api_check(n: int, *, sigma: float = 0.0) -> None:
 
 
 def _api_emit(n: int, rng, *, sigma: float = 0.0) -> BroadcastResult:
-    return aware_broadcast(rng.random(n), sigma)
+    values = rng.random(n)
+    result = aware_broadcast(values, sigma)
+    result.oracle_input = values  # adapt replays the root value lazily
+    return result
+
+
+def _api_adapt(result: BroadcastResult) -> dict:
+    values = getattr(result, "oracle_input", None)
+    if values is None:  # result not emitted through the registry
+        return {}
+    oracle = np.full_like(values, values[0])
+    return {"correct": bool(np.array_equal(result.output, oracle))}
 
 
 register(
@@ -66,6 +77,7 @@ register(
         section="4.5",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(64, 256, 1024),
     )
 )

@@ -99,7 +99,17 @@ def _api_check(n: int, *, p: int) -> None:
 
 
 def _api_emit(n: int, rng, *, p: int) -> BaselineFFTResult:
-    return transpose_fft(rng.random(n) + 1j * rng.random(n), p)
+    x = rng.random(n) + 1j * rng.random(n)
+    result = transpose_fft(x, p)
+    result.oracle_input = x  # adapt computes the reference lazily
+    return result
+
+
+def _api_adapt(result: BaselineFFTResult) -> dict:
+    x = getattr(result, "oracle_input", None)
+    if x is None:  # result not emitted through the registry
+        return {}
+    return {"correct": bool(np.allclose(result.output, np.fft.fft(x)))}
 
 
 register(
@@ -110,6 +120,7 @@ register(
         section="Thm 3.4 class C",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(1024, 4096),
         needs_p=True,
     )

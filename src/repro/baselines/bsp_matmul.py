@@ -202,7 +202,10 @@ def _summa_check(n: int, *, p: int) -> None:
 
 def _summa_emit(n: int, rng, *, p: int) -> BaselineMMResult:
     side = _mm_side(n)
-    return summa_2d(rng.random((side, side)), rng.random((side, side)), p)
+    A, B = rng.random((side, side)), rng.random((side, side))
+    result = summa_2d(A, B, p)
+    result.oracle_input = (A, B)  # adapt computes the reference lazily
+    return result
 
 
 def _cube_check(n: int, *, p: int) -> None:
@@ -216,7 +219,18 @@ def _cube_check(n: int, *, p: int) -> None:
 
 def _cube_emit(n: int, rng, *, p: int) -> BaselineMMResult:
     side = _mm_side(n)
-    return cube_3d(rng.random((side, side)), rng.random((side, side)), p)
+    A, B = rng.random((side, side)), rng.random((side, side))
+    result = cube_3d(A, B, p)
+    result.oracle_input = (A, B)  # adapt computes the reference lazily
+    return result
+
+
+def _mm_adapt(result: BaselineMMResult) -> dict:
+    inputs = getattr(result, "oracle_input", None)
+    if inputs is None:  # result not emitted through the registry
+        return {}
+    A, B = inputs
+    return {"correct": bool(np.allclose(result.product, A @ B))}
 
 
 register(
@@ -227,6 +241,7 @@ register(
         section="Thm 3.4 class C",
         emit=_summa_emit,
         check=_summa_check,
+        adapt=_mm_adapt,
         default_sizes=(256, 1024),
         needs_p=True,
     )
@@ -239,6 +254,7 @@ register(
         section="Thm 3.4 class C",
         emit=_cube_emit,
         check=_cube_check,
+        adapt=_mm_adapt,
         default_sizes=(256, 1024),
         needs_p=True,
     )

@@ -110,7 +110,17 @@ def _api_check(n: int, *, p: int) -> None:
 
 
 def _api_emit(n: int, rng, *, p: int) -> BaselineSortResult:
-    return sample_sort(rng.permutation(n).astype(np.float64), p)
+    keys = rng.permutation(n).astype(np.float64)
+    result = sample_sort(keys, p)
+    result.oracle_input = keys  # adapt sorts the reference lazily
+    return result
+
+
+def _api_adapt(result: BaselineSortResult) -> dict:
+    keys = getattr(result, "oracle_input", None)
+    if keys is None:  # result not emitted through the registry
+        return {}
+    return {"correct": bool(np.array_equal(result.output, np.sort(keys)))}
 
 
 register(
@@ -121,6 +131,7 @@ register(
         section="Thm 3.4 class C",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(256, 1024),
         needs_p=True,
     )

@@ -20,13 +20,18 @@ from repro.sim.arbiter import (
     by_arbiter,
 )
 from repro.sim.engine import (
+    ENGINES,
     SimProfile,
     clear_sim_cache,
+    reset_sim_engine_stats,
     sim_cache_stats,
+    sim_engine_stats,
+    simulate_many,
     simulate_superstep,
     simulate_trace,
 )
-from repro.sim.validate import BoundReport, validate_bound
+from repro.sim.fastpath import HAVE_NUMBA
+from repro.sim.validate import BoundReport, validate_bound, validate_grid
 
 __all__ = [
     "Arbiter",
@@ -35,11 +40,17 @@ __all__ = [
     "RandomArbiter",
     "by_arbiter",
     "ARBITERS",
+    "ENGINES",
+    "HAVE_NUMBA",
     "SimProfile",
     "simulate_trace",
+    "simulate_many",
     "simulate_superstep",
     "clear_sim_cache",
     "sim_cache_stats",
+    "sim_engine_stats",
+    "reset_sim_engine_stats",
     "BoundReport",
     "validate_bound",
+    "validate_grid",
 ]

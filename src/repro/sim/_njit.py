@@ -1,0 +1,165 @@
+"""Optional numba kernel for the fast engine's contended-cycle step.
+
+The fast engine (:mod:`repro.sim.fastpath`) keeps the active flits in a
+single array sorted by ``(edge, arbiter rank)`` and serves one cycle by
+walking that array once.  This module holds the loop-level twin of the
+vectorized numpy step: a straight transliteration that ``numba.njit``
+compiles when numba is importable, and that still runs (slowly) as
+plain Python when it is not — so the kernel's logic is testable even on
+interpreters without numba.
+
+numba is strictly optional: nothing here imports it at module top level
+beyond a guarded probe, and :data:`HAVE_NUMBA` tells the engine
+selector whether the jitted variant exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "serve_cycle_py", "serve_cycle_jit"]
+
+try:  # pragma: no cover - exercised only on numba-equipped interpreters
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except Exception:  # pragma: no cover - the shipped container has no numba
+    _njit = None
+    HAVE_NUMBA = False
+
+
+def _serve_cycle(
+    skey,
+    sid,
+    pos,
+    length,
+    off,
+    fid,
+    edges_ns,
+    queue,
+    credits,
+    caps_ns,
+    eflits,
+    qhigh,
+    K1,
+    KF,
+    LB,
+    remaining_mode,
+):
+    """One contended cycle over the sorted (edge, rank) flit array.
+
+    Mutates ``pos``/``queue``/``credits``/``eflits``/``qhigh`` in place
+    and returns the re-sorted ``(skey, sid, finished)`` triple — the
+    exact contract of the numpy step it mirrors, float op for float op
+    (accrue, floor, subtract served, modulo spare), so both paths stay
+    bit-identical to the reference engine.
+    """
+    A = skey.shape[0]
+    E = queue.shape[0]
+    avail = np.empty(E, np.int64)
+    for e in range(E):
+        q = queue[e]
+        if q > 0:
+            credits[e] = credits[e] + caps_ns[e]
+        else:
+            credits[e] = 0.0
+        a = np.int64(np.floor(credits[e]))
+        avail[e] = a
+        s = q if q < a else a
+        eflits[e] += s
+        credits[e] = credits[e] - s
+        if q > 0 and a > q:
+            credits[e] = credits[e] % 1.0
+        queue[e] = q - s
+    # Winners: the first avail[e] flits of each edge's sorted segment.
+    win = np.empty(A, np.bool_)
+    nwin = 0
+    seg = np.int64(0)
+    cur = np.int64(-1)
+    for i in range(A):
+        e = skey[i] // K1
+        if e != cur:
+            cur = e
+            seg = np.int64(i)
+        w = (i - seg) < avail[e]
+        win[i] = w
+        if w:
+            nwin += 1
+    nstay = A - nwin
+    stay_key = np.empty(nstay, np.int64)
+    stay_id = np.empty(nstay, np.int64)
+    mov_key = np.empty(nwin, np.int64)
+    mov_id = np.empty(nwin, np.int64)
+    finished = np.empty(nwin, np.int64)
+    ns = 0
+    nm = 0
+    nf = 0
+    for i in range(A):
+        t = sid[i]
+        if win[i]:
+            p = pos[t] + 1
+            pos[t] = p
+            if p >= length[t]:
+                finished[nf] = t
+                nf += 1
+            else:
+                e2 = edges_ns[off[t] + p]
+                if remaining_mode:
+                    rk = (LB - (length[t] - p)) * KF + fid[t]
+                else:
+                    rk = fid[t]
+                mov_key[nm] = e2 * K1 + rk
+                mov_id[nm] = t
+                nm += 1
+                queue[e2] += 1
+        else:
+            stay_key[ns] = skey[i]
+            stay_id[ns] = sid[i]
+            ns += 1
+    # Arrival edges' queue high-water (after *all* arrivals landed).
+    for m in range(nm):
+        e2 = mov_key[m] // K1
+        if queue[e2] > qhigh[e2]:
+            qhigh[e2] = queue[e2]
+    mk = mov_key[:nm]
+    mi = mov_id[:nm]
+    if nm > 1:
+        o = np.argsort(mk)  # keys are unique: stability is irrelevant
+        mk = mk[o]
+        mi = mi[o]
+    out_key = np.empty(ns + nm, np.int64)
+    out_id = np.empty(ns + nm, np.int64)
+    i = 0
+    j = 0
+    w = 0
+    while i < ns and j < nm:
+        if stay_key[i] <= mk[j]:
+            out_key[w] = stay_key[i]
+            out_id[w] = stay_id[i]
+            i += 1
+        else:
+            out_key[w] = mk[j]
+            out_id[w] = mi[j]
+            j += 1
+        w += 1
+    while i < ns:
+        out_key[w] = stay_key[i]
+        out_id[w] = stay_id[i]
+        i += 1
+        w += 1
+    while j < nm:
+        out_key[w] = mk[j]
+        out_id[w] = mi[j]
+        j += 1
+        w += 1
+    return out_key, out_id, finished[:nf].copy()
+
+
+#: Plain-Python variant (always available; used to test the kernel logic).
+serve_cycle_py = _serve_cycle
+
+#: Jitted variant when numba is importable, else the Python fallback.
+if HAVE_NUMBA:  # pragma: no cover - exercised in the numba CI leg
+    serve_cycle_jit = _njit(cache=True)(_serve_cycle)
+else:
+    serve_cycle_jit = _serve_cycle

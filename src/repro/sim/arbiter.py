@@ -36,6 +36,18 @@ class Arbiter:
 
     name: str = "arbiter"
 
+    #: How :meth:`priorities` depends on the cycle state — lets the fast
+    #: engine keep per-edge queues incrementally sorted instead of
+    #: recomputing the rank every cycle:
+    #:
+    #: * ``"index"`` — rank is the static emission index (FIFO);
+    #: * ``"remaining"`` — rank is ``-remaining`` (farthest-to-go), which
+    #:   changes deterministically by one per hop;
+    #: * ``"dynamic"`` — rank is an arbitrary per-cycle function (random
+    #:   and any third-party arbiter); the fast engine falls back to the
+    #:   per-cycle rank computation for these.
+    rank_mode: str = "dynamic"
+
     def cache_key(self) -> tuple:
         """Hashable identity used to memoise simulated profiles."""
         return (self.name,)
@@ -65,6 +77,7 @@ class FifoArbiter(Arbiter):
     """Emission order: first message in, first across."""
 
     name = "fifo"
+    rank_mode = "index"
 
     def priorities(self, step, phase, cycle, index, remaining):
         return index
@@ -74,6 +87,7 @@ class FarthestToGoArbiter(Arbiter):
     """Longest remaining path first (ties by emission order)."""
 
     name = "farthest-to-go"
+    rank_mode = "remaining"
 
     def priorities(self, step, phase, cycle, index, remaining):
         return -remaining
@@ -83,6 +97,7 @@ class RandomArbiter(Arbiter):
     """Seeded random ranks, redrawn per cycle (reproducible)."""
 
     name = "random"
+    rank_mode = "dynamic"
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)

@@ -37,6 +37,7 @@ trace identity+version x topology x policy x arbiter).
 
 from __future__ import annotations
 
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -49,16 +50,50 @@ from repro.networks.policy import DimensionOrderPolicy, RoutingPolicy
 from repro.networks.routing import route_trace
 from repro.networks.topology import Topology
 from repro.sim.arbiter import Arbiter, by_arbiter
+from repro.sim.fastpath import HAVE_NUMBA as _HAVE_NUMBA
+from repro.sim.fastpath import expand_paths
+from repro.sim.fastpath import engine_stats as sim_engine_stats
+from repro.sim.fastpath import reset_engine_stats as reset_sim_engine_stats
+from repro.sim.fastpath import run_batch as _fast_run_batch
+from repro.sim.fastpath import run_trace as _fast_run_trace
 
 __all__ = [
     "SimProfile",
     "simulate_trace",
+    "simulate_many",
     "simulate_superstep",
     "clear_sim_cache",
     "sim_cache_stats",
+    "sim_engine_stats",
+    "reset_sim_engine_stats",
 ]
 
 _DIRECT = DimensionOrderPolicy()
+
+#: Engine selector: ``reference`` is the original per-cycle loop,
+#: ``fast`` the pure-numpy event-driven engine, ``auto`` the fast
+#: engine with the numba kernel when numba is importable.  The
+#: ``REPRO_SIM_ENGINE`` environment variable sets the default.
+ENGINES = ("auto", "fast", "reference")
+_ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+
+def _resolve_engine(engine: str | None) -> tuple[str, bool]:
+    """Map a selector to ``(mode, use_kernel)``; both engines are
+    bit-identical, so the choice only affects speed."""
+    name = engine if engine is not None else os.environ.get(_ENGINE_ENV, "auto")
+    if name not in ENGINES:
+        raise ValueError(f"unknown sim engine {name!r}; choose from {ENGINES}")
+    if name == "auto":
+        return "fast", _HAVE_NUMBA
+    return name, False
+
+
+def _check_flits(flits_per_message: int) -> int:
+    flits = int(flits_per_message)
+    if flits < 1:
+        raise ValueError(f"flits_per_message must be >= 1, got {flits_per_message}")
+    return flits
 
 _CACHE_MAX = 128
 _cache: OrderedDict[tuple, "SimProfile"] = OrderedDict()
@@ -114,6 +149,14 @@ class SimProfile:
     max_queue: np.ndarray
     delivered: np.ndarray
     edge_flits: np.ndarray
+    #: Per-edge bandwidth capacities of the simulated topology, so
+    #: utilization is exact by default (the fat-tree's sqrt sizing is
+    #: not unit-capacity).
+    capacities: np.ndarray | None = None
+    #: Flits per message the trace was simulated under; analytic
+    #: congestion counts messages, so the flit-level price is
+    #: ``flits_per_message * congestion + dilation``.
+    flits_per_message: int = 1
 
     @property
     def num_supersteps(self) -> int:
@@ -130,22 +173,26 @@ class SimProfile:
     def edge_utilization(self, capacities: np.ndarray | None = None) -> np.ndarray:
         """Per-edge utilization: flits forwarded / capacity-cycles offered.
 
-        With ``capacities`` omitted, unit capacities are assumed (exact
-        for every shipped topology except the fat-tree — pass
-        ``topo.edge_capacities()`` there).
+        Uses the profile's stored ``capacities`` by default (exact on
+        every shipped topology, including the fat-tree's sqrt sizing);
+        pass ``capacities`` explicitly to normalise differently.  Unit
+        capacities are the last-resort fallback for hand-built profiles.
         """
         total = max(self.total_cycles, 1)
-        caps = capacities if capacities is not None else 1.0
-        return self.edge_flits / (caps * total)
+        if capacities is None:
+            capacities = self.capacities if self.capacities is not None else 1.0
+        return self.edge_flits / (capacities * total)
 
     def bound_ratios(self) -> np.ndarray:
-        """Measured/(C+D) per superstep (NaN where nothing was routed).
+        """Measured/(F*C+D) per superstep (NaN where nothing was routed).
 
         This is the empirical LMR constant: the analytic engine charges
-        ``C + D`` communication steps, the simulator measures what a
-        real store-and-forward schedule needed.
+        ``congestion + dilation`` communication steps per *message*, so
+        at ``flits_per_message = F`` the flit-level price is
+        ``F * C + D``; the simulator measures what a real
+        store-and-forward schedule needed.
         """
-        denom = self.congestion + self.dilation
+        denom = self.flits_per_message * self.congestion + self.dilation
         out = np.full(self.num_supersteps, np.nan)
         busy = denom > 0
         np.divide(self.cycles, denom, out=out, where=busy)
@@ -153,8 +200,10 @@ class SimProfile:
 
     @property
     def overall_ratio(self) -> float | None:
-        """Trace-total measured/(C+D) (None when nothing was routed)."""
-        denom = float(self.congestion.sum() + self.dilation.sum())
+        """Trace-total measured/(F*C+D) (None when nothing was routed)."""
+        denom = float(
+            self.flits_per_message * self.congestion.sum() + self.dilation.sum()
+        )
         return self.total_cycles / denom if denom else None
 
     @property
@@ -178,7 +227,7 @@ class SimProfile:
         return float((ratios[busy] * weights).sum() / total)
 
 
-def _run_phase(
+def _run_phase_reference(
     caps: np.ndarray,
     offsets: np.ndarray,
     edges: np.ndarray,
@@ -190,7 +239,10 @@ def _run_phase(
     """Simulate one routing phase to completion; (cycles, max queue).
 
     ``offsets``/``edges`` are the CSR hop paths of the phase's flits in
-    emission order; ``edge_flits`` is accumulated in place.
+    emission order; ``edge_flits`` is accumulated in place.  This is
+    the reference engine — one lexsort + bincount round per cycle — and
+    the oracle the fast engine (:mod:`repro.sim.fastpath`) is
+    property-tested bit-identical against.
     """
     E = caps.size
     lengths = np.diff(offsets)
@@ -240,6 +292,7 @@ def _simulate_batch(
     src: np.ndarray,
     dst: np.ndarray,
     edge_flits: np.ndarray,
+    flits: int = 1,
 ) -> tuple[int, int]:
     """One superstep's batch through every policy phase; (cycles, max queue).
 
@@ -256,7 +309,10 @@ def _simulate_batch(
         if ph_src.size == 0:
             continue
         poff, pedges = topo.route_paths(ph_src, ph_dst)
-        c, q = _run_phase(caps, poff, pedges, arbiter, step, ph, edge_flits)
+        poff, pedges = expand_paths(poff, pedges, flits)
+        c, q = _run_phase_reference(
+            caps, poff, pedges, arbiter, step, ph, edge_flits
+        )
         cycles += c
         max_queue = max(max_queue, q)
     return cycles, max_queue
@@ -272,14 +328,20 @@ def simulate_superstep(
     step: int = 0,
     label: int = 0,
     seed: int = 0,
+    flits_per_message: int = 1,
+    engine: str | None = None,
 ) -> tuple[int, int, int]:
     """Measured (cycles, max queue, delivered) of one superstep's batch.
 
     ``step``/``label`` follow the
-    :func:`~repro.networks.routing.superstep_time` convention.
+    :func:`~repro.networks.routing.superstep_time` convention;
+    ``delivered`` counts messages even when each expands to
+    ``flits_per_message`` flits.
     """
     if isinstance(arbiter, str):
         arbiter = by_arbiter(arbiter, seed)
+    flits = _check_flits(flits_per_message)
+    mode, use_kernel = _resolve_engine(engine)
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
     keep = src != dst
@@ -287,10 +349,17 @@ def simulate_superstep(
     edge_flits = np.zeros(topo.num_edges(), dtype=np.int64)
     cycles, max_queue = 0, 0
     if src.size:
-        cycles, max_queue = _simulate_batch(
-            topo, topo.edge_capacities(), policy or _DIRECT, arbiter,
-            step, label, src, dst, edge_flits,
-        )
+        if mode == "reference":
+            cycles, max_queue = _simulate_batch(
+                topo, topo.edge_capacities(), policy or _DIRECT, arbiter,
+                step, label, src, dst, edge_flits, flits,
+            )
+        else:
+            c, q, _ = _fast_run_trace(
+                topo, topo.edge_capacities(), policy or _DIRECT, arbiter,
+                [(step, label, src, dst)], flits, use_kernel,
+            )
+            cycles, max_queue = int(c[0]), int(q[0])
     return cycles, max_queue, int(src.size)
 
 
@@ -301,6 +370,8 @@ def simulate_trace(
     arbiter: Arbiter | str = "fifo",
     *,
     seed: int = 0,
+    flits_per_message: int = 1,
+    engine: str | None = None,
 ) -> SimProfile:
     """Simulate an entire trace, folded onto ``topo.p``, cycle by cycle.
 
@@ -311,17 +382,21 @@ def simulate_trace(
     message sets.  The analytic congestion/dilation columns are copied
     straight from the memoised :class:`RoutedProfile`, which makes
     ``measured/(C+D)`` comparisons self-consistent by construction.
-    Profiles are memoised per (trace, topology, policy, arbiter);
-    cached arrays are read-only.
+    Each message expands to ``flits_per_message`` identical-path flits
+    (message-major emission order).  ``engine`` picks the executor
+    (``auto``/``fast``/``reference``; default from ``REPRO_SIM_ENGINE``)
+    — both are bit-identical, so the engine is *not* part of the cache
+    key.  Profiles are memoised per (trace, topology, policy, arbiter,
+    flits); cached arrays are read-only.
     """
     policy = policy or _DIRECT
     if isinstance(arbiter, str):
         arbiter = by_arbiter(arbiter, seed)
-    global _cache_hits, _cache_misses, _cache_evictions
-    token = getattr(trace, "cache_token", None)
-    key = None
-    if token is not None:
-        key = (token, topo.name, topo.p, policy.cache_key(), arbiter.cache_key())
+    flits = _check_flits(flits_per_message)
+    mode, use_kernel = _resolve_engine(engine)
+    global _cache_hits, _cache_misses
+    key = _profile_key(trace, topo, policy, arbiter, flits)
+    if key is not None:
         with _cache_lock:
             cached = _cache.get(key)
             if cached is not None:
@@ -330,27 +405,79 @@ def simulate_trace(
                 return cached
             _cache_misses += 1
 
-    routed = route_trace(trace, topo, policy)
-    cols = fold_trace(trace, topo.p, keep_empty=True).columns()
+    cols, batches, delivered = _prep_trace(trace, topo)
     caps = topo.edge_capacities()
     S = cols.num_supersteps
     cycles = np.zeros(S, dtype=np.int64)
     max_queue = np.zeros(S, dtype=np.int64)
-    delivered = np.zeros(S, dtype=np.int64)
     edge_flits = np.zeros(topo.num_edges(), dtype=np.int64)
+    if mode == "reference":
+        for s, label, b_src, b_dst in batches:
+            cycles[s], max_queue[s] = _simulate_batch(
+                topo, caps, policy, arbiter, s, label, b_src, b_dst,
+                edge_flits, flits,
+            )
+    elif batches:
+        b_cycles, b_queue, edge_flits = _fast_run_trace(
+            topo, caps, policy, arbiter, batches, flits, use_kernel
+        )
+        idx = np.array([b[0] for b in batches], dtype=np.int64)
+        cycles[idx] = b_cycles
+        max_queue[idx] = b_queue
+    profile = _build_profile(
+        trace, topo, policy, arbiter, flits, cols, delivered,
+        cycles, max_queue, edge_flits,
+    )
+    _cache_put(key, profile)
+    return profile
+
+
+def _profile_key(
+    trace: Trace, topo: Topology, policy: RoutingPolicy, arbiter: Arbiter, flits: int
+) -> tuple | None:
+    """LRU key of a sim profile (None for uncacheable traces)."""
+    token = getattr(trace, "cache_token", None)
+    if token is None:
+        return None
+    return (
+        token, topo.name, topo.p, policy.cache_key(), arbiter.cache_key(), flits
+    )
+
+
+def _prep_trace(trace: Trace, topo: Topology) -> tuple:
+    """Fold a trace and slice its non-empty superstep batches."""
+    cols = fold_trace(trace, topo.p, keep_empty=True).columns()
+    S = cols.num_supersteps
+    delivered = np.zeros(S, dtype=np.int64)
     offsets, src, dst = cols.offsets, cols.src, cols.dst
+    batches = []
     for s in range(S):
         lo, hi = int(offsets[s]), int(offsets[s + 1])
         if hi == lo:
             continue  # barrier-only superstep: nothing to move
-        cycles[s], max_queue[s] = _simulate_batch(
-            topo, caps, policy, arbiter, s, int(cols.labels[s]),
-            src[lo:hi], dst[lo:hi], edge_flits,
-        )
+        batches.append((s, int(cols.labels[s]), src[lo:hi], dst[lo:hi]))
         delivered[s] = hi - lo
-    for arr in (cycles, max_queue, delivered, edge_flits):
+    return cols, batches, delivered
+
+
+def _build_profile(
+    trace: Trace,
+    topo: Topology,
+    policy: RoutingPolicy,
+    arbiter: Arbiter,
+    flits: int,
+    cols,
+    delivered: np.ndarray,
+    cycles: np.ndarray,
+    max_queue: np.ndarray,
+    edge_flits: np.ndarray,
+) -> SimProfile:
+    """Assemble the immutable profile (analytic columns + measured)."""
+    routed = route_trace(trace, topo, policy)
+    caps = topo.edge_capacities().copy()
+    for arr in (cycles, max_queue, delivered, edge_flits, caps):
         arr.setflags(write=False)
-    profile = SimProfile(
+    return SimProfile(
         topology=topo.name,
         policy=policy.name,
         arbiter=arbiter.name,
@@ -362,11 +489,91 @@ def simulate_trace(
         max_queue=max_queue,
         delivered=delivered,
         edge_flits=edge_flits,
+        capacities=caps,
+        flits_per_message=flits,
     )
-    if key is not None:
-        with _cache_lock:
-            _cache[key] = profile
-            if len(_cache) > _CACHE_MAX:
-                _cache.popitem(last=False)
-                _cache_evictions += 1
-    return profile
+
+
+def _cache_put(key: tuple | None, profile: SimProfile) -> None:
+    global _cache_evictions
+    if key is None:
+        return
+    with _cache_lock:
+        _cache[key] = profile
+        if len(_cache) > _CACHE_MAX:
+            _cache.popitem(last=False)
+            _cache_evictions += 1
+
+
+def simulate_many(
+    items: list,
+    *,
+    seed: int = 0,
+    flits_per_message: int = 1,
+    engine: str | None = None,
+) -> list[SimProfile]:
+    """Simulate many ``(trace, topo, policy, arbiter)`` cells, batched.
+
+    The grid twin of :func:`simulate_trace`: results, cache keys and
+    cached contents are bit-identical to per-cell calls — but with the
+    fast engine, every cache-missing cell whose arbiter rank is static
+    joins one fused cycle loop (:func:`repro.sim.fastpath.run_batch`),
+    so a whole experiment sweep costs its *longest* superstep chain
+    instead of the sum over cells.  ``policy``/``arbiter`` entries may
+    be ``None``/names exactly as in :func:`simulate_trace`; dynamic
+    arbiters and the reference engine fall back per cell.
+    """
+    flits = _check_flits(flits_per_message)
+    mode, use_kernel = _resolve_engine(engine)
+    global _cache_hits, _cache_misses
+    norm = []
+    for trace, topo, policy, arbiter in items:
+        if isinstance(arbiter, str):
+            arbiter = by_arbiter(arbiter, seed)
+        norm.append((trace, topo, policy or _DIRECT, arbiter))
+    profiles: list[SimProfile | None] = [None] * len(norm)
+    pending: list[tuple] = []  # (item index, key, cols, batches, delivered)
+    for i, (trace, topo, policy, arbiter) in enumerate(norm):
+        if mode == "reference" or arbiter.rank_mode == "dynamic":
+            profiles[i] = simulate_trace(
+                trace, topo, policy, arbiter,
+                seed=seed, flits_per_message=flits, engine=engine,
+            )
+            continue
+        key = _profile_key(trace, topo, policy, arbiter, flits)
+        if key is not None:
+            with _cache_lock:
+                cached = _cache.get(key)
+                if cached is not None:
+                    _cache.move_to_end(key)
+                    _cache_hits += 1
+                    profiles[i] = cached
+                    continue
+                _cache_misses += 1
+        cols, batches, delivered = _prep_trace(trace, topo)
+        pending.append((i, key, cols, batches, delivered))
+    if pending:
+        cells = [
+            (norm[i][1], norm[i][1].edge_capacities(), norm[i][2], norm[i][3],
+             batches, flits)
+            for i, _, _, batches, _ in pending
+        ]
+        results = _fast_run_batch(cells, use_kernel)
+        for (i, key, cols, batches, delivered), (b_cycles, b_queue, ef) in zip(
+            pending, results
+        ):
+            trace, topo, policy, arbiter = norm[i]
+            S = cols.num_supersteps
+            cycles = np.zeros(S, dtype=np.int64)
+            max_queue = np.zeros(S, dtype=np.int64)
+            if batches:
+                idx = np.array([b[0] for b in batches], dtype=np.int64)
+                cycles[idx] = b_cycles
+                max_queue[idx] = b_queue
+            profile = _build_profile(
+                trace, topo, policy, arbiter, flits, cols, delivered,
+                cycles, max_queue, np.ascontiguousarray(ef),
+            )
+            _cache_put(key, profile)
+            profiles[i] = profile
+    return profiles

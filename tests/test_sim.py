@@ -341,9 +341,36 @@ class TestPlanCheck:
     def test_check_defaults_off_and_none_without_adapt(self):
         plan = ExperimentPlan.grid(algorithms=["fft"], ns=[64], sigmas=[0.0])
         assert plan.run().column("correct") == [None]
-        # fft registers no adapt oracle: checked runs report None, not a
-        # false pass.
-        assert plan.run(check=True).column("correct") == [None]
+        # fft's adapt oracle runs only when asked.
+        assert plan.run(check=True).column("correct") == [True]
+        # matmul-space registers no adapt oracle: checked runs report
+        # None, not a false pass.
+        plain = ExperimentPlan.grid(
+            algorithms=["matmul-space"], ns=[64], sigmas=[0.0]
+        )
+        assert plain.run(check=True).column("correct") == [None]
+
+    def test_check_covers_new_oracles(self):
+        """Every Section-4 algorithm and BSP baseline verifies against
+        its numpy reference through one check=True sweep."""
+        plan = ExperimentPlan.grid(
+            algorithms=["fft", "broadcast", "stencil1d", "stencil2d"],
+            ns=[16], sigmas=[0.0],
+        )
+        assert plan.run(check=True).column("correct") == [True] * 4
+
+    def test_check_covers_baseline_oracles(self):
+        from repro.api import PlanCell
+
+        cells = [
+            PlanCell(algorithm="bsp-matmul-2d", n=256, p=4, sigma=0.0),
+            PlanCell(algorithm="bsp-matmul-3d", n=256, p=8, sigma=0.0),
+            PlanCell(algorithm="bsp-fft", n=1024, p=16, sigma=0.0),
+            PlanCell(algorithm="bsp-sort", n=256, p=8, sigma=0.0),
+            PlanCell(algorithm="bsp-broadcast", n=64, sigma=0.0),
+        ]
+        frame = ExperimentPlan(cells).run(check=True)
+        assert frame.column("correct") == [True] * len(cells)
 
     def test_check_flags_a_broken_algorithm(self):
         from repro.api import AlgorithmSpec, register, unregister
