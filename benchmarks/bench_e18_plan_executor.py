@@ -1,8 +1,7 @@
 """E18 — plan-executor throughput: fused grid runner vs legacy serial sweep.
 
 A portability study is a grid: one trace priced on every (topology,
-policy, p) cell.  This bench runs a 24-cell grid three ways over one
-pre-emitted trace:
+policy, p) cell.  This bench runs a 24-cell grid five ways:
 
 * ``run_sweep`` — ``ExperimentPlan.run(executor="serial")``: the new
   engine, cells routed by the fused multi-superstep kernels;
@@ -10,22 +9,36 @@ pre-emitted trace:
   (fork; prepared trace and warm fold caches inherited copy-on-write);
 * ``run_sweep_legacy`` — the pre-plan path: per-superstep loop routing
   (the fused gate forced off), cell by cell, the way ``network_sweep``
-  priced grids before the experiment API.
+  priced grids before the experiment API;
+* ``run_sweep_shm`` — the persistent zero-copy worker pool
+  (``SharedMemoryBackend``, pool forced on so single-CPU recordings
+  measure the real dispatch path rather than the serial downgrade);
+* ``run_sweep_store_cold`` / ``run_sweep_store_warm`` — the persistent
+  cell-hash result store on a *declarative* grid (``@``-sourced plans
+  are uncacheable by design): cold pays emission + folds + routes into
+  a fresh sqlite file, warm reads every row back without computing
+  anything.
 
-All three must produce bit-identical cell values.  ``record_baseline.py``
-records the three timings; the headline ratio is plan-vs-legacy (the
-fused engine win, hardware-independent), while parallel-vs-serial
-reflects however many cores the host actually grants (1 core => ~1x).
+All executor paths must produce bit-identical cell values.
+``record_baseline.py`` records the timings; the headline ratios are
+plan-vs-legacy (the fused engine win, hardware-independent) and
+store-warm-vs-cold (the caching win), while the pool ratios reflect
+however many cores the host actually grants (1 core => ~1x or below).
 """
 
+import os
+import tempfile
 import time
+from pathlib import Path
 
 import numpy as np
 
 from _util import emit_table
 from repro.api import ExperimentPlan
+from repro.exec import SharedMemoryBackend
 from repro.machine.folding import clear_fold_cache
 from repro.networks import clear_route_cache
+from repro.util.caches import clear_caches
 
 #: The (n,1)-stencil is the many-small-supersteps regime the fused
 #: router targets (n=256 folds to ~1200 supersteps of a few hundred
@@ -89,6 +102,55 @@ def run_sweep_legacy(cfg=SCALE):
         routing._FUSED_MAX_CELLS = saved
 
 
+def run_sweep_shm(cfg=SCALE):
+    """The persistent zero-copy shared-memory pool (forced on, so a
+    one-core recording measures the pool rather than the downgrade)."""
+    _cold()
+    return _plan(cfg).run(executor=SharedMemoryBackend(force=True))
+
+
+#: Store workloads run a declarative grid (``from_trace`` plans hold an
+#: in-memory ``@`` source, which the store refuses to cache) and pay for
+#: emission inside the timed region — exactly the cost a warm store run
+#: skips.
+def _grid_plan(cfg) -> ExperimentPlan:
+    return ExperimentPlan.grid(
+        algorithms=[cfg["algorithm"]],
+        ns=[cfg["n"]],
+        ps=list(cfg["ps"]),
+        topologies=TOPOLOGIES,
+        policies=POLICIES,
+        name="e18-store",
+    )
+
+
+_warm_store: dict[tuple, Path] = {}
+
+
+def run_sweep_store_cold(cfg=SCALE):
+    """Declarative grid into a fresh sqlite store: every cell misses."""
+    clear_caches()
+    fd, path = tempfile.mkstemp(suffix=".db", prefix="e18-cold-")
+    os.close(fd)
+    try:
+        return _grid_plan(cfg).run(store=path)
+    finally:
+        os.unlink(path)
+
+
+def run_sweep_store_warm(cfg=SCALE):
+    """The same grid against an already-primed store: every cell hits,
+    so no emission, fold, route or sim runs at all."""
+    key = tuple(sorted(cfg.items()))
+    if key not in _warm_store:
+        fd, path = tempfile.mkstemp(suffix=".db", prefix="e18-warm-")
+        os.close(fd)
+        _warm_store[key] = Path(path)
+        _grid_plan(cfg).run(store=path)  # prime once, outside best-of-N
+    clear_caches()
+    return _grid_plan(cfg).run(store=_warm_store[key])
+
+
 def test_e18_plan_executor(benchmark, quick):
     cfg = QUICK if quick else SCALE
 
@@ -134,3 +196,50 @@ def test_e18_plan_executor(benchmark, quick):
     if not quick:
         # The new engine must beat the legacy per-superstep serial path.
         assert vs_legacy > 1.2, f"fused plan only {vs_legacy:.2f}x vs legacy"
+
+
+def test_e18_shm_and_store(benchmark, quick):
+    cfg = QUICK if quick else SCALE
+    serial = run_sweep(cfg)
+
+    def shm_and_store():
+        _plan(cfg)  # emit the @-source outside the shm timed region
+        run_sweep_store_warm(cfg)  # prime the warm store outside timing
+        t0 = time.perf_counter()
+        shm = run_sweep_shm(cfg)
+        t_shm = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        cold = run_sweep_store_cold(cfg)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = run_sweep_store_warm(cfg)
+        t_warm = time.perf_counter() - t0
+        return shm, cold, warm, t_shm, t_cold, t_warm
+
+    shm, cold, warm, t_shm, t_cold, t_warm = benchmark.pedantic(
+        shm_and_store, rounds=1, iterations=1
+    )
+    # The pool is bit-identical to serial; the store replays its own
+    # cold rows exactly and reports a full hit sweep.
+    assert shm.rows == serial.rows
+    assert shm.metadata["executor_effective"] == "shm"
+    assert warm.rows == cold.rows
+    assert warm.metadata["store_hits"] == len(cold)
+    assert warm.metadata["store_misses"] == 0
+
+    warm_vs_cold = t_cold / t_warm if t_warm > 0 else float("inf")
+    shm_vs_serial_note = f"{t_shm:.3f}s on {os.cpu_count() or 1} core(s)"
+    emit_table(
+        "e18_shm_and_store",
+        f"E18b  shm pool {shm_vs_serial_note}; store warm "
+        f"{t_warm:.3f}s vs cold {t_cold:.3f}s ({warm_vs_cold:.1f}x)",
+        ["path", "seconds", "note"],
+        [
+            ["shm pool", round(t_shm, 3), shm_vs_serial_note],
+            ["store cold", round(t_cold, 3), "fresh sqlite, all misses"],
+            ["store warm", round(t_warm, 3), f"{warm_vs_cold:.1f}x vs cold"],
+        ],
+    )
+    if not quick:
+        # Warm hits skip emission, folds, routes and sims entirely.
+        assert warm_vs_cold > 5.0, f"warm store only {warm_vs_cold:.2f}x"

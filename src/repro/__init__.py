@@ -28,13 +28,16 @@ from repro.models import DBSP, EvaluationModel
 
 # The subpackages below import the ones above; order matters.
 from repro import algorithms, api, baselines, networks, sim
+from repro import exec as exec_backends
 from repro import analysis
 from repro.api import ExperimentPlan, Pipeline, ResultFrame
 from repro.api import run as run_pipeline
+from repro.exec import ExecutorBackend, ResultStore
 from repro.networks import route_trace
 from repro.sim import SimProfile, simulate_trace, validate_bound
+from repro.util.caches import cache_stats, clear_caches
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "machine",
@@ -60,5 +63,10 @@ __all__ = [
     "ExperimentPlan",
     "ResultFrame",
     "run_pipeline",
+    "exec_backends",
+    "ExecutorBackend",
+    "ResultStore",
+    "cache_stats",
+    "clear_caches",
     "__version__",
 ]

@@ -7,11 +7,13 @@ Three subcommands expose the experiment API without writing any Python:
     network topologies, routing policies, link arbiters and D-BSP
     machine presets.
 
-``python -m repro plan experiments.json [--executor process] [--csv out.csv]``
+``python -m repro plan experiments.json [--executor shm] [--store results.db]``
     Load a declarative :class:`~repro.api.plan.ExperimentPlan` from JSON
     (either an explicit ``{"cells": [...]}`` list or a ``{"grid": ...}``
-    product spec), run it, print the result frame, and optionally export
-    CSV/JSON.
+    product spec), run it on any registered execution backend —
+    optionally through the persistent cell-hash result store — print
+    the result frame (and the backend/store facts it recorded), and
+    optionally export CSV/JSON.
 
 ``python -m repro sim matmul --n 64 --p 16 [--topologies ...] [...]``
     Cycle-accurately simulate one algorithm's trace on a topology x
@@ -25,6 +27,7 @@ import argparse
 import sys
 
 from repro.api import ExperimentPlan, specs
+from repro.exec import executors
 from repro.models import PRESETS
 from repro.networks import POLICIES, TOPOLOGIES
 
@@ -51,13 +54,21 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     print("  " + ", ".join(sorted(ARBITERS)))
     print("\nD-BSP machine presets (repro.models.PRESETS):")
     print("  " + ", ".join(PRESETS))
+    print("\nexecution backends (repro.exec.by_executor):")
+    print("  " + ", ".join(executors()))
     return 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
     plan = ExperimentPlan.from_json(args.file)
-    frame = plan.run(executor=args.executor, max_workers=args.workers)
+    frame = plan.run(
+        executor=args.executor, max_workers=args.workers, store=args.store
+    )
     print(frame)
+    meta = frame.metadata
+    if meta:
+        facts = ", ".join(f"{k}={v}" for k, v in meta.items())
+        print(f"[{facts}]")
     if args.csv:
         frame.to_csv(args.csv)
         print(f"wrote {args.csv}")
@@ -132,12 +143,18 @@ def main(argv: list[str] | None = None) -> int:
     plan_p.add_argument("file", help="plan JSON ({'cells': [...]} or {'grid': {...}})")
     plan_p.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
-        default="serial",
-        help="cell executor (default: serial)",
+        choices=executors(),
+        default=None,
+        help="execution backend (default: $REPRO_EXECUTOR or serial)",
     )
     plan_p.add_argument(
         "--workers", type=int, default=None, help="worker-pool size"
+    )
+    plan_p.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="persistent sqlite result store (warm cells skip re-simulation)",
     )
     plan_p.add_argument("--csv", help="also export the frame as CSV")
     plan_p.add_argument("--json", help="also export the frame as JSON")

@@ -186,7 +186,33 @@ def _api_check(n: int, *, wise: bool = True) -> None:
 
 def _api_emit(n: int, rng, *, wise: bool = True) -> SpaceMatMulResult:
     side = square_side(n, 2, what="space-efficient n-MM")
-    return run(rng.random((side, side)), rng.random((side, side)), wise=wise)
+    A, B = rng.random((side, side)), rng.random((side, side))
+    result = run(A, B, wise=wise)
+    result.oracle_input = (A, B)  # adapt computes the reference lazily
+    return result
+
+
+def _api_adapt(result: SpaceMatMulResult) -> dict:
+    """Numeric + structural oracle: the product must match ``A @ B`` and
+    the trace must realise Section 4.1.1 — ``2^{i+1}`` supersteps of
+    label ``2i`` per level (``2^{L+1} - 2`` in total for ``side = 2^L``)
+    with O(1) working entries sent per VP per superstep."""
+    inputs = getattr(result, "oracle_input", None)
+    if inputs is None:  # result not emitted through the registry
+        return {}
+    A, B = inputs
+    ok = bool(np.allclose(result.product, A @ B))
+    cols = result.trace.columns()
+    levels = ilog2(int(np.sqrt(result.v)))
+    ok = ok and cols.num_supersteps == 2 ** (levels + 1) - 2
+    labels, offsets, src = cols.labels, cols.offsets, cols.src
+    for i in range(levels):
+        ok = ok and int(np.count_nonzero(labels == 2 * i)) == 2 ** (i + 1)
+    for s in range(cols.num_supersteps):
+        lo, hi = int(offsets[s]), int(offsets[s + 1])
+        if hi > lo and int(np.bincount(src[lo:hi]).max()) > 3:
+            ok = False  # a VP shipped more than its A+B pair (+dummy)
+    return {"correct": ok}
 
 
 register(
@@ -197,6 +223,7 @@ register(
         section="4.1.1",
         emit=_api_emit,
         check=_api_check,
+        adapt=_api_adapt,
         default_sizes=(64, 256, 1024),
     )
 )

@@ -90,15 +90,26 @@ class ResultFrame:
 
     ``columns`` always starts with :data:`RESULT_COLUMNS`; rows are plain
     value tuples so frames are cheap to ship across worker processes and
-    trivially serialisable.
+    trivially serialisable.  ``meta`` is a flat (key, value) tuple of
+    run-level facts — the requested executor, the backend that
+    *effectively* ran the cells (``executor_effective`` differs from
+    ``executor`` when a backend degraded, with the reason alongside),
+    and result-store hit counts; read it as a dict via
+    :attr:`metadata`.
     """
 
     columns: tuple[str, ...]
     rows: tuple[tuple, ...]
     name: str = "results"
+    meta: tuple = ()
 
     def __len__(self) -> int:
         return len(self.rows)
+
+    @property
+    def metadata(self) -> dict:
+        """The run-level ``meta`` pairs as a plain dict."""
+        return dict(self.meta)
 
     def as_dicts(self, *, drop_none: bool = False) -> list[dict]:
         """Rows as dicts (optionally dropping unmeasured fields)."""
@@ -163,9 +174,10 @@ class ResultFrame:
 
     def to_json(self, path: str | Path | None = None) -> str:
         """Serialise to JSON records (and write to ``path`` when given)."""
-        text = json.dumps(
-            {"name": self.name, "rows": self.as_dicts(drop_none=True)}, indent=2
-        )
+        doc = {"name": self.name, "rows": self.as_dicts(drop_none=True)}
+        if self.meta:
+            doc["meta"] = self.metadata
+        text = json.dumps(doc, indent=2)
         if path is not None:
             Path(path).write_text(text + "\n")
         return text

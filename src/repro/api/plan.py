@@ -14,22 +14,24 @@ topology x policy x p grid prices one trace with zero re-execution::
         topologies=["torus2d", "hypercube"],
         policies=["dimension-order", "valiant"],
     )
-    frame = plan.run(executor="process")   # or "serial" / "thread"
+    frame = plan.run(executor="shm", store="results.db")
 
-Executors return bit-identical frames: every cell computes the same
-deterministic quantities, the pool only changes where.  The ``process``
-executor forks (copy-on-write shares the prepared traces and warm
-caches) and falls back to threads where ``fork`` is unavailable.
+Execution is pluggable: ``executor`` names a backend in the
+:mod:`repro.exec` registry (``serial``, ``thread``, ``process``,
+``shm``, or any :class:`~repro.exec.ExecutorBackend` instance — the
+``REPRO_EXECUTOR`` environment variable overrides the default) and
+``store`` wraps it in the persistent sqlite result store, so repeated
+sweeps across processes and CI runs hit warm rows instead of
+re-simulating.  Backends return bit-identical frames: every cell
+computes the same deterministic quantities, the backend only changes
+where; what actually ran is recorded in the frame's ``meta``
+(``executor_effective``, downgrade reasons, store hit counts).
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
-import threading
-import warnings
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, fields, replace
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -112,18 +114,6 @@ class PlanCell:
         return cls(**d)
 
 
-#: Runtime the forked process-pool workers inherit (set around the pool).
-#: Module-global by necessity (fork shares it copy-on-write); the lock
-#: serialises concurrent process-executor runs so lazily-forked workers
-#: of one plan can never inherit another plan's runtime.
-_FORK_RUNTIME: "_PlanRuntime | None" = None
-_fork_lock = threading.Lock()
-
-
-def _fork_eval(i: int) -> tuple:
-    return _FORK_RUNTIME.eval_cell(i)
-
-
 class _PlanRuntime:
     """Prepared sources + cell evaluator (shared by every executor)."""
 
@@ -150,14 +140,34 @@ class _PlanRuntime:
         p = cell.p if spec.needs_p else None
         return (cell.algorithm, cell.n, cell.seed, cell.params, p)
 
-    def prepare(self) -> None:
-        """Materialise every distinct source once, serially.
+    def topology(self, name: str, p: int):
+        """The shared :class:`Topology` instance for ``(name, p)``.
+
+        Built lazily and memoised per runtime: its ``edge_capacities``
+        cache then serves every cell (threads share the dict; a benign
+        duplicate construction under a race is identical, last wins).
+        """
+        key = (name, p)
+        topo = self._topos.get(key)
+        if topo is None:
+            topo = self._topos[key] = topology_by_name(name, p)
+        return topo
+
+    def prepare(self, indices: Sequence[int] | None = None) -> None:
+        """Materialise every distinct source the cells need, serially.
 
         Runs before any worker starts: the traces (and their
         ``TraceMetrics``) are plan-level shared state — threads see the
         same objects, forked processes inherit them copy-on-write.
+        ``indices`` restricts preparation to those cells (the cached
+        backend prepares only its store misses); default is all.
         """
-        for cell in self.cells:
+        cells = (
+            self.cells
+            if indices is None
+            else [self.cells[i] for i in indices]
+        )
+        for cell in cells:
             key = self._source_key(cell)
             if key in self._tms:
                 continue
@@ -183,17 +193,16 @@ class _PlanRuntime:
                     verdict = (spec.adapt or (lambda r: {}))(result)
                     self._checks[key] = verdict.get("correct")
             self._tms[key] = pipe.trace_metrics
-        for cell in self.cells:
+        for cell in cells:
             if cell.topology is None:
                 continue
             key = self._source_key(cell)
             tm = self._tms[key]
             p = cell.p if cell.p is not None else tm.v
-            tkey = (cell.topology, p)
-            if tkey not in self._topos:
-                self._topos[tkey] = topology_by_name(cell.topology, p)
-            if cell.relative_to_dbsp and (key, *tkey) not in self._denoms:
-                self._denoms[(key, *tkey)] = tm.D_machine(fit(self._topos[tkey]))
+            topo = self.topology(cell.topology, p)
+            dkey = (key, cell.topology, p)
+            if cell.relative_to_dbsp and dkey not in self._denoms:
+                self._denoms[dkey] = tm.D_machine(fit(topo))
 
     # -- cells ---------------------------------------------------------
     def eval_cell(self, i: int) -> tuple:
@@ -225,7 +234,7 @@ class _PlanRuntime:
             row["D"] = tm.D_machine(build(p))
         if cell.topology is not None:
             p = cell.p if cell.p is not None else tm.v
-            topo = self._topos[(cell.topology, p)]
+            topo = self.topology(cell.topology, p)
             policy = cell.policy if cell.policy is not None else "dimension-order"
             if not isinstance(policy, RoutingPolicy):
                 policy = by_policy(policy, cell.policy_seed)
@@ -462,59 +471,58 @@ class ExperimentPlan:
     def run(
         self,
         *,
-        executor: str = "serial",
+        executor: "str | Any | None" = None,
         max_workers: int | None = None,
         check: bool = False,
+        store: "str | Path | Any | None" = None,
     ) -> ResultFrame:
         """Execute every cell and collect the frame (always cell order).
 
-        ``executor``: ``"serial"``, ``"thread"`` (shares the in-process
-        fold/route LRUs across workers), or ``"process"`` (fork-based
-        pool; prepared traces and warm caches are inherited
-        copy-on-write, results come back as plain row tuples).  All three
-        produce bit-identical frames.
+        ``executor`` names an execution backend in the
+        :mod:`repro.exec` registry — ``"serial"``, ``"thread"``
+        (shares the in-process fold/route/sim LRUs across workers),
+        ``"process"`` (fork-based pool, prepared state inherited
+        copy-on-write) or ``"shm"`` (persistent worker pool over
+        zero-copy shared-memory sources) — or is an
+        :class:`~repro.exec.ExecutorBackend` instance.  Default: the
+        ``REPRO_EXECUTOR`` environment variable, else ``"serial"``.
+        All backends produce bit-identical rows; the frame's ``meta``
+        records what actually ran (``executor_effective`` — backends
+        degrade gracefully and say so — plus any store statistics).
+
+        ``store`` — a path or :class:`~repro.exec.ResultStore` — wraps
+        the backend in the persistent cell-hash result cache: warm cells
+        skip emission, folding, routing and simulation entirely.
 
         ``check=True`` additionally runs every registry source through
         its spec's ``adapt`` numpy oracle and reports the verdict in the
         frame's ``correct`` column (``None`` for sources without an
         oracle) — the grid doubles as a correctness sweep.
         """
+        from repro.exec import CachedBackend, ExecutorBackend, by_executor
+
         self.validate()
+        if executor is None:
+            executor = os.environ.get("REPRO_EXECUTOR") or "serial"
+        backend = (
+            executor
+            if isinstance(executor, ExecutorBackend)
+            else by_executor(executor)
+        )
+        requested = backend.name
+        if store is not None:
+            backend = CachedBackend(store, backend)
         runtime = _PlanRuntime(self, check=check)
-        runtime.prepare()
-        indices = range(len(self.cells))
-        if max_workers is None:
-            max_workers = min(8, max(1, len(self.cells)), os.cpu_count() or 1)
-        if executor == "process" and "fork" not in multiprocessing.get_all_start_methods():
-            warnings.warn(
-                "fork start method unavailable; falling back to threads",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            executor = "thread"
-        if executor == "serial":
-            rows = [runtime.eval_cell(i) for i in indices]
-        elif executor == "thread":
-            with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                rows = list(pool.map(runtime.eval_cell, indices))
-        elif executor == "process":
-            global _FORK_RUNTIME
-            ctx = multiprocessing.get_context("fork")
-            chunk = max(1, len(self.cells) // (max_workers * 2))
-            with _fork_lock:
-                _FORK_RUNTIME = runtime
-                try:
-                    with ProcessPoolExecutor(
-                        max_workers=max_workers, mp_context=ctx
-                    ) as pool:
-                        rows = list(pool.map(_fork_eval, indices, chunksize=chunk))
-                finally:
-                    _FORK_RUNTIME = None
-        else:
-            raise ValueError(
-                f"unknown executor {executor!r}; choose serial, thread or process"
-            )
-        return ResultFrame(RESULT_COLUMNS, tuple(rows), name=self.name)
+        rows, meta = backend.run(runtime, max_workers=max_workers)
+        info: dict[str, Any] = {"executor": requested}
+        info.update(meta)
+        info.setdefault("executor_effective", requested)
+        return ResultFrame(
+            RESULT_COLUMNS,
+            tuple(rows),
+            name=self.name,
+            meta=tuple(info.items()),
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ExperimentPlan({self.name!r}, cells={len(self.cells)})"

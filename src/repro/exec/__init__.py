@@ -1,0 +1,47 @@
+"""Pluggable plan-execution backends behind one registry.
+
+One narrow contract (:class:`ExecutorBackend`) decouples *what* a plan
+measures from *where* its cells run::
+
+    executor registry (by_executor, mirroring networks.by_name)
+        serial | thread | process   (the classic executors, re-homed)
+        shm                         (persistent pool, zero-copy shared
+                                     sources, columnar row returns)
+        + CachedBackend(store=...)  (persistent sqlite cell-hash store
+                                     wrapping any inner backend)
+
+All registered backends produce bit-identical
+:class:`~repro.api.frame.ResultFrame` rows (property-tested); they only
+differ in throughput and in the metadata they record on the frame
+(effective backend, downgrade reasons, store hit counts).
+"""
+
+from repro.exec.base import ExecutorBackend
+from repro.exec.local import ProcessBackend, SerialBackend, ThreadBackend
+from repro.exec.registry import EXECUTORS, by_executor, executors, register_executor
+from repro.exec.shm import SharedMemoryBackend, shutdown_pool
+from repro.exec.store import (
+    CachedBackend,
+    ResultStore,
+    cell_key,
+    clear_store_stats,
+    store_cache_stats,
+)
+
+__all__ = [
+    "ExecutorBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "SharedMemoryBackend",
+    "CachedBackend",
+    "ResultStore",
+    "cell_key",
+    "register_executor",
+    "by_executor",
+    "executors",
+    "EXECUTORS",
+    "shutdown_pool",
+    "store_cache_stats",
+    "clear_store_stats",
+]

@@ -1,0 +1,68 @@
+"""The :class:`ExecutorBackend` contract every plan executor implements.
+
+A backend turns a prepared plan runtime (the shared cell evaluator an
+:class:`~repro.api.plan.ExperimentPlan` builds for one ``run``) into the
+frame's row tuples.  The contract is deliberately narrow so new
+execution substrates — worker pools, shared-memory shards, result
+stores, future MPI/GPU backends — drop in without touching plan code:
+
+* ``run(runtime, max_workers=..., indices=...)`` returns
+  ``(rows, meta)`` — one row tuple per requested cell index, in index
+  order, plus a metadata dict recorded on the resulting
+  :class:`~repro.api.frame.ResultFrame` (at minimum
+  ``executor_effective``, the backend that *actually* ran the cells —
+  backends that degrade record what they degraded to and why);
+* every backend must produce **bit-identical** rows for the same plan:
+  cells compute the same deterministic quantities, a backend only
+  chooses where (property-tested across all registered backends).
+
+The runtime duck-type a backend may rely on: ``runtime.cells`` (the
+plan's cell tuple), ``runtime.plan``, ``runtime.check``,
+``runtime.prepare(indices)`` (materialise the sources those cells need,
+serially, before any worker starts) and ``runtime.eval_cell(i)`` (the
+pure per-cell evaluator).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+__all__ = ["ExecutorBackend"]
+
+
+class ExecutorBackend(ABC):
+    """One way of executing a plan's cells (see module docstring)."""
+
+    #: Registry key; also the default ``executor_effective`` metadata.
+    name: str = "?"
+
+    def run(
+        self,
+        runtime,
+        *,
+        max_workers: int | None = None,
+        indices: Sequence[int] | None = None,
+    ) -> tuple[list[tuple], dict]:
+        """Prepare the needed sources and execute the cells.
+
+        The default template prepares serially and delegates to
+        :meth:`execute`; backends with their own preparation story
+        (degradation, caching layers) override ``run`` itself.
+        """
+        if indices is None:
+            indices = range(len(runtime.cells))
+        indices = list(indices)
+        runtime.prepare(indices)
+        return self.execute(runtime, indices, max_workers=max_workers), {
+            "executor_effective": self.name
+        }
+
+    @abstractmethod
+    def execute(
+        self, runtime, indices: list[int], *, max_workers: int | None = None
+    ) -> list[tuple]:
+        """Row tuples for ``indices`` (in order); sources are prepared."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

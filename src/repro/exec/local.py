@@ -1,0 +1,115 @@
+"""The three classic executors, re-homed as registry backends.
+
+These are the ``serial``/``thread``/``process`` strings
+:meth:`ExperimentPlan.run` has always accepted, bit-identical to their
+pre-registry implementations:
+
+* :class:`SerialBackend` — evaluate cells in order on the calling
+  thread (the reference executor every other backend is tested
+  against);
+* :class:`ThreadBackend` — a ``ThreadPoolExecutor``; workers share the
+  in-process fold/route/sim LRUs, so the pool parallelises the numpy
+  kernels' release of the GIL;
+* :class:`ProcessBackend` — a fork-based ``ProcessPoolExecutor``;
+  prepared traces and warm caches are inherited copy-on-write, results
+  come back as plain row tuples.  Where ``fork`` is unavailable
+  (Windows, some macOS configurations) it degrades to threads — loudly:
+  a :class:`RuntimeWarning` is emitted and the frame's metadata records
+  ``executor_effective: "thread"`` with the downgrade reason, so a
+  sweep can never silently lose its parallelism story.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from repro.exec.base import ExecutorBackend
+from repro.exec.registry import register_executor
+
+__all__ = ["SerialBackend", "ThreadBackend", "ProcessBackend", "default_workers"]
+
+
+def default_workers(num_cells: int, max_workers: int | None) -> int:
+    """The historical pool-size default: min(8, cells, cores)."""
+    if max_workers is not None:
+        return max(1, max_workers)
+    return min(8, max(1, num_cells), os.cpu_count() or 1)
+
+
+class SerialBackend(ExecutorBackend):
+    """Evaluate every cell in order on the calling thread."""
+
+    name = "serial"
+
+    def execute(self, runtime, indices, *, max_workers=None):
+        return [runtime.eval_cell(i) for i in indices]
+
+
+class ThreadBackend(ExecutorBackend):
+    """A thread pool sharing the in-process fold/route/sim LRUs."""
+
+    name = "thread"
+
+    def execute(self, runtime, indices, *, max_workers=None):
+        workers = default_workers(len(indices), max_workers)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(runtime.eval_cell, indices))
+
+
+#: Runtime the forked process-pool workers inherit (set around the pool).
+#: Module-global by necessity (fork shares it copy-on-write); the lock
+#: serialises concurrent process-executor runs so lazily-forked workers
+#: of one plan can never inherit another plan's runtime.
+_FORK_RUNTIME = None
+_fork_lock = threading.Lock()
+
+
+def _fork_eval(i: int) -> tuple:
+    return _FORK_RUNTIME.eval_cell(i)
+
+
+class ProcessBackend(ExecutorBackend):
+    """Fork-based worker pool (copy-on-write shares the prepared state)."""
+
+    name = "process"
+
+    def run(self, runtime, *, max_workers=None, indices=None):
+        if indices is None:
+            indices = range(len(runtime.cells))
+        indices = list(indices)
+        if "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                "fork start method unavailable; falling back to threads",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            rows, meta = ThreadBackend().run(
+                runtime, max_workers=max_workers, indices=indices
+            )
+            meta["executor_downgrade"] = "fork start method unavailable"
+            return rows, meta
+        return super().run(runtime, max_workers=max_workers, indices=indices)
+
+    def execute(self, runtime, indices, *, max_workers=None):
+        global _FORK_RUNTIME
+        workers = default_workers(len(indices), max_workers)
+        ctx = multiprocessing.get_context("fork")
+        chunk = max(1, len(indices) // (workers * 2))
+        with _fork_lock:
+            _FORK_RUNTIME = runtime
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=ctx
+                ) as pool:
+                    return list(pool.map(_fork_eval, indices, chunksize=chunk))
+            finally:
+                _FORK_RUNTIME = None
+
+
+register_executor("serial", SerialBackend)
+register_executor("thread", ThreadBackend)
+register_executor("process", ProcessBackend)

@@ -1,0 +1,47 @@
+"""The executor registry: backends by name, mirroring ``networks.by_name``.
+
+Backends register a factory under a short name; plans resolve
+``run(executor="shm")`` through :func:`by_executor` without knowing any
+backend class.  Third-party backends register the same way the shipped
+ones do::
+
+    from repro.exec import ExecutorBackend, register_executor
+
+    class MPIBackend(ExecutorBackend):
+        name = "mpi"
+        ...
+
+    register_executor("mpi", MPIBackend)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exec.base import ExecutorBackend
+
+__all__ = ["register_executor", "by_executor", "executors", "EXECUTORS"]
+
+#: name -> zero-argument factory returning a ready backend instance.
+EXECUTORS: dict[str, Callable[[], ExecutorBackend]] = {}
+
+
+def register_executor(
+    name: str, factory: Callable[[], ExecutorBackend]
+) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    EXECUTORS[name] = factory
+
+
+def executors() -> tuple[str, ...]:
+    """Sorted names of every registered execution backend."""
+    return tuple(sorted(EXECUTORS))
+
+
+def by_executor(name: str, **kwargs) -> ExecutorBackend:
+    """Instantiate a registered backend by name (keywords to the factory)."""
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {name!r}; choose from {', '.join(executors())}"
+        )
+    return EXECUTORS[name](**kwargs)

@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from repro.machine.trace import Trace, TraceColumns
+from repro.util.caches import register_cache
 from repro.util.intmath import ilog2
 
 __all__ = [
@@ -105,6 +106,9 @@ def fold_cache_stats() -> dict[str, int]:
             "misses": _cache_misses,
             "evictions": _cache_evictions,
         }
+
+
+register_cache("fold", fold_cache_stats, clear_fold_cache)
 
 
 def _cached_in(cache, maxsize, key, compute: Callable[[], object]):

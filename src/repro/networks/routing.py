@@ -34,6 +34,7 @@ from repro.machine.folding import fold_trace
 from repro.machine.trace import Trace, TraceColumns
 from repro.networks.policy import DimensionOrderPolicy, RoutingPolicy
 from repro.networks.topology import Topology
+from repro.util.caches import register_cache
 
 __all__ = [
     "superstep_time",
@@ -98,6 +99,9 @@ def route_cache_stats() -> dict[str, int]:
             "misses": _cache_misses,
             "evictions": _cache_evictions,
         }
+
+
+register_cache("route", route_cache_stats, clear_route_cache)
 
 
 def clear_fuse_gate() -> None:

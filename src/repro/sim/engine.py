@@ -56,6 +56,7 @@ from repro.sim.fastpath import engine_stats as sim_engine_stats
 from repro.sim.fastpath import reset_engine_stats as reset_sim_engine_stats
 from repro.sim.fastpath import run_batch as _fast_run_batch
 from repro.sim.fastpath import run_trace as _fast_run_trace
+from repro.util.caches import register_cache
 
 __all__ = [
     "SimProfile",
@@ -122,6 +123,9 @@ def sim_cache_stats() -> dict[str, int]:
             "misses": _cache_misses,
             "evictions": _cache_evictions,
         }
+
+
+register_cache("sim", sim_cache_stats, clear_sim_cache)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,51 @@
+"""Central registry of the library's memoisation caches.
+
+Every cross-call cache in the repository — the fold-kernel LRU
+(:mod:`repro.machine.folding`), the routed-profile LRU
+(:mod:`repro.networks.routing`), the simulation LRU
+(:mod:`repro.sim.engine`) and the persistent result store
+(:mod:`repro.exec.store`) — registers a ``(stats, clear)`` pair here at
+import time, so one call aggregates them all::
+
+    >>> import repro
+    >>> repro.cache_stats()                          # doctest: +SKIP
+    {'fold': {'hits': 12, 'misses': 3, 'evictions': 0},
+     'route': {...}, 'sim': {...}, 'store': {...}}
+
+The per-cache ``stats()`` contract is a dict of integer counters with at
+least ``hits``/``misses``/``evictions`` keys; ``clear()`` drops the
+cached values *and* resets the counters (each module's documented
+behaviour).  :func:`cache_stats`/:func:`clear_caches` are re-exported as
+``repro.cache_stats``/``repro.clear_caches``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["register_cache", "cache_stats", "clear_caches", "registered_caches"]
+
+_PROVIDERS: dict[str, tuple[Callable[[], dict], Callable[[], None]]] = {}
+
+
+def register_cache(
+    name: str, stats: Callable[[], dict], clear: Callable[[], None]
+) -> None:
+    """Register (or replace) a named cache's ``(stats, clear)`` hooks."""
+    _PROVIDERS[name] = (stats, clear)
+
+
+def registered_caches() -> tuple[str, ...]:
+    """Sorted names of every registered cache."""
+    return tuple(sorted(_PROVIDERS))
+
+
+def cache_stats() -> dict[str, dict]:
+    """Aggregate counters of every registered cache, keyed by name."""
+    return {name: stats() for name, (stats, _) in sorted(_PROVIDERS.items())}
+
+
+def clear_caches() -> None:
+    """Clear every registered cache and reset its counters."""
+    for _, clear in _PROVIDERS.values():
+        clear()

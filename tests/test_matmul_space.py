@@ -104,3 +104,27 @@ class TestCommunication:
         h_space = TraceMetrics(matmul_space.run(A, B).trace).H(n, 0.0)
         h_fast = TraceMetrics(matmul.run(A, B).trace).H(n, 0.0)
         assert h_space > h_fast
+
+
+class TestAdaptOracle:
+    def test_registry_check_sweep_reports_correct(self):
+        from repro.api import ExperimentPlan
+
+        plan = ExperimentPlan.grid(
+            algorithms=["matmul-space"], ns=[64, 256], ps=[4]
+        )
+        frame = plan.run(check=True)
+        assert [row["correct"] for row in frame.as_dicts()] == [True, True]
+
+    def test_oracle_rejects_wrong_structure(self, rng):
+        from repro.algorithms.matmul_space import _api_adapt
+
+        res = matmul_space.run(rng.random((8, 8)), rng.random((8, 8)))
+        res.oracle_input = (np.eye(8), np.eye(8))  # not the real inputs
+        assert _api_adapt(res) == {"correct": False}
+
+    def test_oracle_skips_bare_results(self, rng):
+        from repro.algorithms.matmul_space import _api_adapt
+
+        res = matmul_space.run(rng.random((4, 4)), rng.random((4, 4)))
+        assert _api_adapt(res) == {}

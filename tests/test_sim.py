@@ -343,12 +343,13 @@ class TestPlanCheck:
         assert plan.run().column("correct") == [None]
         # fft's adapt oracle runs only when asked.
         assert plan.run(check=True).column("correct") == [True]
-        # matmul-space registers no adapt oracle: checked runs report
-        # None, not a false pass.
+        # matmul-space's structural+numeric oracle also runs only when
+        # asked; unchecked runs still report None, not a false pass.
         plain = ExperimentPlan.grid(
             algorithms=["matmul-space"], ns=[64], sigmas=[0.0]
         )
-        assert plain.run(check=True).column("correct") == [None]
+        assert plain.run().column("correct") == [None]
+        assert plain.run(check=True).column("correct") == [True]
 
     def test_check_covers_new_oracles(self):
         """Every Section-4 algorithm and BSP baseline verifies against
