@@ -186,7 +186,12 @@ def _label_sorted(trace: Trace):
                     "cannot fold a cluster-illegal trace: some message leaves "
                     "its superstep's cluster (run trace.validate() to locate it)"
                 )
-        return (lab_s, src_s, dst_s, cols.superstep_index()[order])
+        return (
+            _frozen(lab_s),
+            _frozen(src_s),
+            _frozen(dst_s),
+            _frozen(cols.superstep_index()[order]),
+        )
 
     token = getattr(trace, "cache_token", None)
     if token is None:

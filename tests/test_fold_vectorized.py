@@ -110,6 +110,21 @@ class TestFoldCache:
             with pytest.raises(ValueError):
                 arr[:] = 0  # shared cache entries must not be mutable
 
+    def test_label_sorted_cache_is_read_only(self, rng):
+        # Regression (RPR002): the per-trace label-sorted arrays are cached
+        # and shared across every fold of the same trace version; a caller
+        # writing through them would silently corrupt later folds.
+        from repro.machine.folding import _label_sorted
+
+        t = random_trace(16, 5, rng)
+        fold_degrees(t, 8)  # populate the per-trace cache
+        import pytest
+
+        for arr in _label_sorted(t):
+            assert not arr.flags.writeable
+            with pytest.raises(ValueError):
+                arr[0] = 0
+
     def test_cluster_illegal_trace_rejected(self):
         import pytest
 
