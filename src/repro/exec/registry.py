@@ -16,6 +16,7 @@ ones do::
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 from repro.exec.base import ExecutorBackend
@@ -25,12 +26,15 @@ __all__ = ["register_executor", "by_executor", "executors", "EXECUTORS"]
 #: name -> zero-argument factory returning a ready backend instance.
 EXECUTORS: dict[str, Callable[[], ExecutorBackend]] = {}
 
+_registry_lock = threading.Lock()
+
 
 def register_executor(
     name: str, factory: Callable[[], ExecutorBackend]
 ) -> None:
     """Register (or replace) a backend factory under ``name``."""
-    EXECUTORS[name] = factory
+    with _registry_lock:
+        EXECUTORS[name] = factory
 
 
 def executors() -> tuple[str, ...]:

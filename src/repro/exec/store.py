@@ -39,7 +39,7 @@ from dataclasses import fields
 from pathlib import Path
 
 from repro.exec.base import ExecutorBackend
-from repro.exec.registry import by_executor
+from repro.exec.registry import by_executor, register_executor
 from repro.util.caches import register_cache
 
 __all__ = [
@@ -294,3 +294,6 @@ class CachedBackend(ExecutorBackend):
 
     def execute(self, runtime, indices, *, max_workers=None):
         return self.run(runtime, max_workers=max_workers, indices=indices)[0]
+
+
+register_executor("cached", CachedBackend)

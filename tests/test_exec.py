@@ -64,6 +64,34 @@ class TestRegistry:
         assert frame.metadata["executor"] == "thread"
         assert frame.metadata["executor_effective"] == "thread"
 
+    def test_cached_backend_is_registered(self, tmp_path):
+        # Regression (RPR005): CachedBackend defined `name = "cached"` but
+        # was never registered, so by_executor("cached") raised.
+        assert "cached" in executors()
+        backend = by_executor("cached", store=tmp_path / "r.sqlite")
+        assert backend.name == "cached" and backend.inner.name == "serial"
+
+    def test_concurrent_registration_is_safe(self):
+        # Regression (RPR004): register_executor mutated EXECUTORS unlocked.
+        import threading
+
+        from repro.exec.registry import EXECUTORS, register_executor
+
+        names = [f"_lint_tmp_{i}" for i in range(32)]
+        try:
+            threads = [
+                threading.Thread(target=register_executor, args=(n, object))
+                for n in names
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert set(names) <= set(executors())
+        finally:
+            for n in names:
+                EXECUTORS.pop(n, None)
+
 
 # ----------------------------------------------------------------------
 # Backend equivalence: the core ExecutorBackend property
