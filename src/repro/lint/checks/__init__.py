@@ -1,0 +1,24 @@
+"""The shipped invariant checks (imported for their registrations).
+
+Each module implements one check and registers an instance at its bottom
+— importing this package is what populates
+:mod:`repro.lint.registry.CHECKS`.
+"""
+
+from repro.lint.checks import (  # noqa: F401  (imported for side effects)
+    rpr001_oracle,
+    rpr002_cache_readonly,
+    rpr003_seeded_rng,
+    rpr004_lock_discipline,
+    rpr005_registry,
+    rpr006_engine_parity,
+)
+
+__all__ = [
+    "rpr001_oracle",
+    "rpr002_cache_readonly",
+    "rpr003_seeded_rng",
+    "rpr004_lock_discipline",
+    "rpr005_registry",
+    "rpr006_engine_parity",
+]

@@ -1,0 +1,80 @@
+"""The check registry: checks by id, mirroring ``repro.exec``'s registry.
+
+Checks register an instance under their ``RPRnnn`` id; the runner and
+CLI resolve ``--select``/``--ignore`` through :func:`by_check` without
+knowing any check class.  Third-party checks register the same way the
+shipped ones do::
+
+    from repro.lint import Check, register_check
+
+    class MyCheck(Check):
+        id = "RPR901"
+        ...
+
+    register_check(MyCheck())
+
+The shipped checks live in :mod:`repro.lint.checks` and register at the
+bottom of the module that implements them (the registration *is* part of
+the check's contract, exactly like ``AlgorithmSpec``s); this module only
+stores them and imports the providers lazily to stay cycle-free.
+"""
+
+from __future__ import annotations
+
+import importlib
+import threading
+
+from repro.lint.base import Check
+
+__all__ = ["register_check", "by_check", "checks", "all_checks", "CHECKS"]
+
+#: id -> registered check instance.
+CHECKS: dict[str, Check] = {}
+
+#: Import of this package registers the shipped checks (each check
+#: module calls :func:`register_check` at its bottom).
+_PROVIDER_MODULE = "repro.lint.checks"
+_loaded = False
+_registry_lock = threading.Lock()
+
+
+def _ensure_registered() -> None:
+    global _loaded
+    if not _loaded:
+        _loaded = True  # set first: provider imports may consult the registry
+        importlib.import_module(_PROVIDER_MODULE)
+
+
+def register_check(check: Check) -> Check:
+    """Add (or replace) a check in the registry; returns it for chaining."""
+    if not check.id or not check.id[0].isalpha():
+        raise ValueError(f"check id must be a short code, got {check.id!r}")
+    with _registry_lock:
+        CHECKS[check.id.upper()] = check
+    return check
+
+
+def checks() -> tuple[str, ...]:
+    """Sorted ids of every registered check."""
+    _ensure_registered()
+    with _registry_lock:
+        return tuple(sorted(CHECKS))
+
+
+def by_check(check_id: str) -> Check:
+    """Look up a registered check by id (case-insensitive)."""
+    _ensure_registered()
+    with _registry_lock:
+        check = CHECKS.get(check_id.upper())
+    if check is None:
+        raise KeyError(
+            f"unknown check {check_id!r}; choose from {', '.join(checks())}"
+        )
+    return check
+
+
+def all_checks() -> dict[str, Check]:
+    """Snapshot of the full registry (id -> check)."""
+    _ensure_registered()
+    with _registry_lock:
+        return dict(CHECKS)
