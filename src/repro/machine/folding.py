@@ -33,6 +33,7 @@ from typing import Callable
 import numpy as np
 
 from repro.machine.trace import Trace, TraceColumns
+from repro.util import sanitize
 from repro.util.caches import register_cache
 from repro.util.intmath import ilog2
 
@@ -122,7 +123,9 @@ def _cached_in(cache, maxsize, key, compute: Callable[[], object]):
         except KeyError:
             _cache_misses += 1
     value = compute()
+    sanitize.guard_cached(value, "fold")
     with _cache_lock:
+        sanitize.assert_locked(_cache_lock, "fold cache insert")
         cache[key] = value
         if len(cache) > maxsize:
             cache.popitem(last=False)

@@ -34,6 +34,7 @@ from repro.machine.folding import fold_trace
 from repro.machine.trace import Trace, TraceColumns
 from repro.networks.policy import DimensionOrderPolicy, RoutingPolicy
 from repro.networks.topology import Topology
+from repro.util import sanitize
 from repro.util.caches import register_cache
 
 __all__ = [
@@ -382,7 +383,9 @@ def route_trace(
         time=time,
     )
     if key is not None:
+        sanitize.guard_cached(profile, "route")
         with _cache_lock:
+            sanitize.assert_locked(_cache_lock, "route cache insert")
             _cache[key] = profile
             if len(_cache) > _CACHE_MAX:
                 _cache.popitem(last=False)

@@ -56,6 +56,7 @@ from repro.sim.fastpath import engine_stats as sim_engine_stats
 from repro.sim.fastpath import reset_engine_stats as reset_sim_engine_stats
 from repro.sim.fastpath import run_batch as _fast_run_batch
 from repro.sim.fastpath import run_trace as _fast_run_trace
+from repro.util import sanitize
 from repro.util.caches import register_cache
 
 __all__ = [
@@ -428,6 +429,11 @@ def simulate_trace(
         idx = np.array([b[0] for b in batches], dtype=np.int64)
         cycles[idx] = b_cycles
         max_queue[idx] = b_queue
+        if sanitize.should_crosscheck():
+            _crosscheck_reference(
+                topo, caps, policy, arbiter, batches, flits,
+                cycles, max_queue, edge_flits, "simulate_trace",
+            )
     profile = _build_profile(
         trace, topo, policy, arbiter, flits, cols, delivered,
         cycles, max_queue, edge_flits,
@@ -498,11 +504,42 @@ def _build_profile(
     )
 
 
+def _crosscheck_reference(
+    topo: Topology,
+    caps: np.ndarray,
+    policy: RoutingPolicy,
+    arbiter: Arbiter,
+    batches: list,
+    flits: int,
+    cycles: np.ndarray,
+    max_queue: np.ndarray,
+    edge_flits: np.ndarray,
+    where: str,
+) -> None:
+    """REPRO_SANITIZE: re-run this workload through the reference cycle
+    loop and require bit-identity with the fast engine's results."""
+    ref_cycles = np.zeros_like(cycles)
+    ref_queue = np.zeros_like(max_queue)
+    ref_edge = np.zeros_like(edge_flits)
+    for s, label, b_src, b_dst in batches:
+        ref_cycles[s], ref_queue[s] = _simulate_batch(
+            topo, caps, policy, arbiter, s, label, b_src, b_dst,
+            ref_edge, flits,
+        )
+    sanitize.check_engine_parity(
+        (cycles, max_queue, edge_flits),
+        (ref_cycles, ref_queue, ref_edge),
+        where,
+    )
+
+
 def _cache_put(key: tuple | None, profile: SimProfile) -> None:
     global _cache_evictions
     if key is None:
         return
+    sanitize.guard_cached(profile, "sim")
     with _cache_lock:
+        sanitize.assert_locked(_cache_lock, "sim cache insert")
         _cache[key] = profile
         if len(_cache) > _CACHE_MAX:
             _cache.popitem(last=False)
@@ -578,6 +615,12 @@ def simulate_many(
                 trace, topo, policy, arbiter, flits, cols, delivered,
                 cycles, max_queue, np.ascontiguousarray(ef),
             )
+            if batches and sanitize.should_crosscheck():
+                _crosscheck_reference(
+                    topo, topo.edge_capacities(), policy, arbiter, batches,
+                    flits, cycles, max_queue, profile.edge_flits,
+                    "simulate_many",
+                )
             _cache_put(key, profile)
             profiles[i] = profile
     return profiles

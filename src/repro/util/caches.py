@@ -49,3 +49,9 @@ def clear_caches() -> None:
     """Clear every registered cache and reset its counters."""
     for _, clear in _PROVIDERS.values():
         clear()
+
+
+# Registers the "sanitizer" provider unconditionally (its hooks no-op
+# unless REPRO_SANITIZE=1), so cache_stats() always carries the entry.
+# Imported at the bottom: sanitize needs register_cache from this module.
+import repro.util.sanitize  # noqa: E402,F401  (registration side effect)
