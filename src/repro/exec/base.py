@@ -26,7 +26,7 @@ pure per-cell evaluator).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Sequence
+from typing import Any, Sequence
 
 __all__ = ["ExecutorBackend"]
 
@@ -39,7 +39,7 @@ class ExecutorBackend(ABC):
 
     def run(
         self,
-        runtime,
+        runtime: Any,
         *,
         max_workers: int | None = None,
         indices: Sequence[int] | None = None,
@@ -60,7 +60,7 @@ class ExecutorBackend(ABC):
 
     @abstractmethod
     def execute(
-        self, runtime, indices: list[int], *, max_workers: int | None = None
+        self, runtime: Any, indices: list[int], *, max_workers: int | None = None
     ) -> list[tuple]:
         """Row tuples for ``indices`` (in order); sources are prepared."""
 

@@ -26,6 +26,7 @@ import os
 import threading
 import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any
 
 from repro.exec.base import ExecutorBackend
 from repro.exec.registry import register_executor
@@ -45,7 +46,9 @@ class SerialBackend(ExecutorBackend):
 
     name = "serial"
 
-    def execute(self, runtime, indices, *, max_workers=None):
+    def execute(
+        self, runtime: Any, indices: list[int], *, max_workers: int | None = None
+    ) -> list[tuple]:
         return [runtime.eval_cell(i) for i in indices]
 
 
@@ -54,7 +57,9 @@ class ThreadBackend(ExecutorBackend):
 
     name = "thread"
 
-    def execute(self, runtime, indices, *, max_workers=None):
+    def execute(
+        self, runtime: Any, indices: list[int], *, max_workers: int | None = None
+    ) -> list[tuple]:
         workers = default_workers(len(indices), max_workers)
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(runtime.eval_cell, indices))
@@ -64,7 +69,7 @@ class ThreadBackend(ExecutorBackend):
 #: Module-global by necessity (fork shares it copy-on-write); the lock
 #: serialises concurrent process-executor runs so lazily-forked workers
 #: of one plan can never inherit another plan's runtime.
-_FORK_RUNTIME = None
+_FORK_RUNTIME: Any = None
 _fork_lock = threading.Lock()
 
 
@@ -77,7 +82,13 @@ class ProcessBackend(ExecutorBackend):
 
     name = "process"
 
-    def run(self, runtime, *, max_workers=None, indices=None):
+    def run(
+        self,
+        runtime: Any,
+        *,
+        max_workers: int | None = None,
+        indices: Any = None,
+    ) -> tuple[list[tuple], dict]:
         if indices is None:
             indices = range(len(runtime.cells))
         indices = list(indices)
@@ -94,7 +105,9 @@ class ProcessBackend(ExecutorBackend):
             return rows, meta
         return super().run(runtime, max_workers=max_workers, indices=indices)
 
-    def execute(self, runtime, indices, *, max_workers=None):
+    def execute(
+        self, runtime: Any, indices: list[int], *, max_workers: int | None = None
+    ) -> list[tuple]:
         global _FORK_RUNTIME
         workers = default_workers(len(indices), max_workers)
         ctx = multiprocessing.get_context("fork")

@@ -17,7 +17,7 @@ ones do::
 from __future__ import annotations
 
 import threading
-from typing import Callable
+from typing import Any, Callable
 
 from repro.exec.base import ExecutorBackend
 
@@ -42,7 +42,7 @@ def executors() -> tuple[str, ...]:
     return tuple(sorted(EXECUTORS))
 
 
-def by_executor(name: str, **kwargs) -> ExecutorBackend:
+def by_executor(name: str, **kwargs: Any) -> ExecutorBackend:
     """Instantiate a registered backend by name (keywords to the factory)."""
     if name not in EXECUTORS:
         raise ValueError(

@@ -39,6 +39,7 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing.shared_memory import SharedMemory
+from typing import Any
 
 import numpy as np
 
@@ -114,7 +115,7 @@ def _attach_untracked(name: str) -> SharedMemory:
             resource_tracker.register = orig
 
 
-def _attach_runtime(payload: dict):
+def _attach_runtime(payload: dict) -> Any:
     """(Re)build this worker's plan runtime from the shipped payload."""
     if _WORKER_STATE["token"] == payload["token"]:
         return _WORKER_STATE["runtime"]
@@ -158,7 +159,7 @@ def _eval_shard(payload: dict, indices: list[int]) -> list[tuple]:
 # ----------------------------------------------------------------------
 # Parent side
 # ----------------------------------------------------------------------
-def _pack_sources(runtime) -> tuple[dict, SharedMemory]:
+def _pack_sources(runtime: Any) -> tuple[dict, SharedMemory]:
     """Pack every prepared source's columns into one shared block.
 
     Returns the worker payload (manifest of ``(v, spans)`` per source
@@ -232,13 +233,13 @@ class SharedMemoryBackend(ExecutorBackend):
 
     def __init__(
         self, *, workers: int | None = None, min_cells: int = 4, force: bool = False
-    ):
+    ) -> None:
         self.workers = workers
         self.min_cells = min_cells
         self.force = force
 
     # -- viability -----------------------------------------------------
-    def _downgrade_reason(self, runtime, indices) -> str | None:
+    def _downgrade_reason(self, runtime: Any, indices: list[int]) -> str | None:
         if not self.force:
             if (os.cpu_count() or 1) <= 1:
                 return "single-CPU host"
@@ -246,7 +247,13 @@ class SharedMemoryBackend(ExecutorBackend):
                 return f"plan smaller than {self.min_cells} cells"
         return None
 
-    def run(self, runtime, *, max_workers=None, indices=None):
+    def run(
+        self,
+        runtime: Any,
+        *,
+        max_workers: int | None = None,
+        indices: Any = None,
+    ) -> tuple[list[tuple], dict]:
         if indices is None:
             indices = range(len(runtime.cells))
         indices = list(indices)
@@ -293,7 +300,9 @@ class SharedMemoryBackend(ExecutorBackend):
             shm.unlink()
         return rows, {"executor_effective": "shm", "shm_workers": workers}
 
-    def _serial(self, runtime, indices, reason):
+    def _serial(
+        self, runtime: Any, indices: list[int], reason: str
+    ) -> tuple[list[tuple], dict]:
         runtime.prepare(indices)
         rows = [runtime.eval_cell(i) for i in indices]
         return rows, {
@@ -301,7 +310,9 @@ class SharedMemoryBackend(ExecutorBackend):
             "executor_downgrade": reason,
         }
 
-    def execute(self, runtime, indices, *, max_workers=None):
+    def execute(
+        self, runtime: Any, indices: list[int], *, max_workers: int | None = None
+    ) -> list[tuple]:
         # Satisfies the ABC; ``run`` owns the whole lifecycle here.
         return self.run(runtime, max_workers=max_workers, indices=indices)[0]
 

@@ -37,6 +37,7 @@ import sqlite3
 import threading
 from dataclasses import fields
 from pathlib import Path
+from typing import Any
 
 from repro.exec.base import ExecutorBackend
 from repro.exec.registry import by_executor, register_executor
@@ -82,7 +83,9 @@ def _version() -> str:
     return __version__
 
 
-def cell_key(cell, *, check: bool = False, version: str | None = None) -> str | None:
+def cell_key(
+    cell: Any, *, check: bool = False, version: str | None = None
+) -> str | None:
     """Canonical sha256 identity of one cell's row, or ``None`` if the
     cell is not a pure function of its declaration (see module doc)."""
     if cell.algorithm.startswith("@"):
@@ -104,7 +107,7 @@ def cell_key(cell, *, check: bool = False, version: str | None = None) -> str | 
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def _json_scalar(x):
+def _json_scalar(x: object) -> object:
     """JSON encoder fallback: numpy scalars become their Python twins."""
     item = getattr(x, "item", None)
     if item is not None:
@@ -122,7 +125,9 @@ class ResultStore:
     set even across version-bump garbage.
     """
 
-    def __init__(self, path: str | os.PathLike, *, max_rows: int | None = None):
+    def __init__(
+        self, path: str | os.PathLike, *, max_rows: int | None = None
+    ) -> None:
         self.path = Path(path)
         self.max_rows = max_rows
         self._lock = threading.Lock()
@@ -244,11 +249,17 @@ class CachedBackend(ExecutorBackend):
         self,
         store: ResultStore | str | os.PathLike,
         inner: ExecutorBackend | str = "serial",
-    ):
+    ) -> None:
         self.store = store if isinstance(store, ResultStore) else ResultStore(store)
         self.inner = inner if isinstance(inner, ExecutorBackend) else by_executor(inner)
 
-    def run(self, runtime, *, max_workers=None, indices=None):
+    def run(
+        self,
+        runtime: Any,
+        *,
+        max_workers: int | None = None,
+        indices: Any = None,
+    ) -> tuple[list[tuple], dict]:
         if indices is None:
             indices = range(len(runtime.cells))
         indices = list(indices)
@@ -292,7 +303,9 @@ class CachedBackend(ExecutorBackend):
         )
         return [rows[i] for i in indices], meta
 
-    def execute(self, runtime, indices, *, max_workers=None):
+    def execute(
+        self, runtime: Any, indices: list[int], *, max_workers: int | None = None
+    ) -> list[tuple]:
         return self.run(runtime, max_workers=max_workers, indices=indices)[0]
 
 

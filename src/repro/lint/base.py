@@ -125,7 +125,7 @@ def call_name(node: ast.Call) -> str | None:
 class ModuleContext:
     """One parsed source file, with noqa map and AST parent links."""
 
-    def __init__(self, path: str, relpath: str, source: str):
+    def __init__(self, path: str, relpath: str, source: str) -> None:
         self.path = path
         #: Forward-slash path relative to the lint root (used by checks
         #: that scope themselves to specific files or packages).
