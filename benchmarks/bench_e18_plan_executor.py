@@ -17,7 +17,13 @@ policy, p) cell.  This bench runs a 24-cell grid five ways:
   cell-hash result store on a *declarative* grid (``@``-sourced plans
   are uncacheable by design): cold pays emission + folds + routes into
   a fresh sqlite file, warm reads every row back without computing
-  anything.
+  anything;
+* ``run_sweep_grid_serial`` / ``run_sweep_dag`` / ``run_sweep_dag_shm``
+  — the stage-graph scheduler on a multi-algorithm shared-stage grid
+  (each source priced on six topologies in both analytic and sim mode,
+  so >60% of planned stage references hit a shared node): the per-cell
+  serial reference vs ``scheduler="dag"`` in-line and over the forced
+  shm pool.  The dedup + sim-fusion win is hardware-independent.
 
 All executor paths must produce bit-identical cell values.
 ``record_baseline.py`` records the timings; the headline ratios are
@@ -151,6 +157,57 @@ def run_sweep_store_warm(cfg=SCALE):
     return _grid_plan(cfg).run(store=_warm_store[key])
 
 
+#: The DAG-scheduler workload: a declarative multi-algorithm grid whose
+#: cells overlap heavily — every (source, p, topology, policy) route is
+#: shared by its analytic and sim cells, every (source, p) fold by all
+#: twelve topology/policy pairs, every emitted source by all its cells.
+#: Sources stay under the sim-fusion superstep gate, so sibling sim
+#: stages also batch into fused cycle loops.
+DAG_SOURCES = (("fft", 64), ("fft", 256), ("broadcast", 4096), ("prefix", 256))
+DAG_SOURCES_QUICK = (("fft", 64), ("broadcast", 4096))
+DAG_TOPOLOGIES = (
+    "ring", "mesh2d", "torus2d", "hypercube", "fat-tree", "butterfly"
+)
+
+
+def _dag_plan(quick: bool = False) -> ExperimentPlan:
+    sources = DAG_SOURCES_QUICK if quick else DAG_SOURCES
+    cells: list = []
+    for algorithm, n in sources:
+        cells.extend(
+            ExperimentPlan.grid(
+                algorithms=[algorithm],
+                ns=[n],
+                ps=[8, 16],
+                topologies=DAG_TOPOLOGIES,
+                policies=POLICIES,
+                modes=["analytic", "sim"],
+            ).cells
+        )
+    return ExperimentPlan(cells, name="e18-dag")
+
+
+def run_sweep_grid_serial(quick: bool = False):
+    """Per-cell serial reference on the shared-stage grid."""
+    clear_caches()
+    return _dag_plan(quick).run(executor="serial")
+
+
+def run_sweep_dag(quick: bool = False):
+    """The stage-graph scheduler, waves executed in-line."""
+    clear_caches()
+    return _dag_plan(quick).run(scheduler="dag")
+
+
+def run_sweep_dag_shm(quick: bool = False):
+    """DAG waves dispatched through the forced shm pool (cold-pool cost
+    included, so one-core recordings price the real dispatch path)."""
+    clear_caches()
+    return _dag_plan(quick).run(
+        executor=SharedMemoryBackend(force=True), scheduler="dag"
+    )
+
+
 def test_e18_plan_executor(benchmark, quick):
     cfg = QUICK if quick else SCALE
 
@@ -243,3 +300,45 @@ def test_e18_shm_and_store(benchmark, quick):
     if not quick:
         # Warm hits skip emission, folds, routes and sims entirely.
         assert warm_vs_cold > 5.0, f"warm store only {warm_vs_cold:.2f}x"
+
+
+def test_e18_dag_scheduler(benchmark, quick):
+    def dag_vs_serial():
+        t0 = time.perf_counter()
+        serial = run_sweep_grid_serial(quick)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        dag = run_sweep_dag(quick)
+        t_dag = time.perf_counter() - t0
+        return serial, dag, t_serial, t_dag
+
+    serial, dag, t_serial, t_dag = benchmark.pedantic(
+        dag_vs_serial, rounds=1, iterations=1
+    )
+    # The scheduler contract: bit-identical frames, each unique stage
+    # executed once (the dedup counters land in the frame metadata).
+    assert dag.rows == serial.rows
+    planned = dag.metadata["dag_stages_planned"]
+    unique = dag.metadata["dag_stages_unique"]
+    assert planned == 4 * len(dag)
+    assert dag.metadata["shared_stage_ratio"] > 0.5
+
+    vs_serial = t_serial / t_dag if t_dag > 0 else float("inf")
+    emit_table(
+        "e18_dag_scheduler",
+        f"E18c  {len(dag)}-cell shared-stage grid: per-cell serial "
+        f"{t_serial:.3f}s, dag {t_dag:.3f}s ({vs_serial:.2f}x); "
+        f"{planned} planned stages -> {unique} unique",
+        ["path", "seconds", "note"],
+        [
+            ["per-cell serial", round(t_serial, 3), "1.0x"],
+            ["dag scheduler", round(t_dag, 3), f"{vs_serial:.2f}x vs serial"],
+            ["stages planned", planned, "-"],
+            ["stages unique", unique,
+             f"shared ratio {dag.metadata['shared_stage_ratio']:.2f}"],
+        ],
+    )
+    if not quick:
+        # Dedup + sim fusion must beat the per-cell path outright —
+        # this is a single-core win, no parallelism involved.
+        assert vs_serial > 1.2, f"dag scheduler only {vs_serial:.2f}x"

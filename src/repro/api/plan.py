@@ -475,6 +475,7 @@ class ExperimentPlan:
         max_workers: int | None = None,
         check: bool = False,
         store: "str | Path | Any | None" = None,
+        scheduler: str | None = None,
     ) -> ResultFrame:
         """Execute every cell and collect the frame (always cell order).
 
@@ -498,10 +499,31 @@ class ExperimentPlan:
         its spec's ``adapt`` numpy oracle and reports the verdict in the
         frame's ``correct`` column (``None`` for sources without an
         oracle) — the grid doubles as a correctness sweep.
+
+        ``scheduler`` selects how cells map onto the backend:
+        ``"cells"`` (the reference path — the backend evaluates whole
+        cells) or ``"dag"`` (the stage-graph scheduler of
+        :mod:`repro.exec.dag`: shared emit/fold/route/sim stages
+        deduplicate across cells and execute once, sibling sim stages
+        fuse into batched cycle loops, and the frame's metadata records
+        the dedup counters).  Default: the ``REPRO_PLAN_DAG``
+        environment variable, else ``"cells"``.  Both schedulers
+        produce bit-identical frames.
         """
-        from repro.exec import CachedBackend, ExecutorBackend, by_executor
+        from repro.exec import CachedBackend, DagBackend, ExecutorBackend, by_executor
+        from repro.exec.dag import (
+            dag_env_enabled,
+            shared_stage_ratio,
+            warn_shared_stages,
+        )
 
         self.validate()
+        if scheduler is None:
+            scheduler = "dag" if dag_env_enabled() else "cells"
+        if scheduler not in ("cells", "dag"):
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; choose 'cells' or 'dag'"
+            )
         if executor is None:
             executor = os.environ.get("REPRO_EXECUTOR") or "serial"
         backend = (
@@ -510,13 +532,30 @@ class ExperimentPlan:
             else by_executor(executor)
         )
         requested = backend.name
+        info: dict[str, Any] = {"executor": requested}
+        if scheduler == "dag" and requested != "dag":
+            if isinstance(backend, CachedBackend):
+                # The store stays outermost: hits must keep skipping
+                # everything, so the DAG schedules only the misses.
+                if not isinstance(backend.inner, DagBackend):
+                    backend = CachedBackend(
+                        backend.store, DagBackend(backend.inner)
+                    )
+            else:
+                backend = DagBackend(backend)
+        elif requested in ("thread", "process", "shm"):
+            # The silent parallel-regression footgun: a multi-worker
+            # backend re-derives every shared stage in every worker.
+            ratio = shared_stage_ratio(self.cells)
+            info["shared_stage_ratio"] = round(ratio, 4)
+            warn_shared_stages(ratio, requested)
         if store is not None:
             backend = CachedBackend(store, backend)
         runtime = _PlanRuntime(self, check=check)
         rows, meta = backend.run(runtime, max_workers=max_workers)
-        info: dict[str, Any] = {"executor": requested}
         info.update(meta)
         info.setdefault("executor_effective", requested)
+        info.setdefault("scheduler", scheduler)
         return ResultFrame(
             RESULT_COLUMNS,
             tuple(rows),

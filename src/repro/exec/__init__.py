@@ -17,6 +17,14 @@ differ in throughput and in the metadata they record on the frame
 """
 
 from repro.exec.base import ExecutorBackend
+from repro.exec.dag import (
+    DagBackend,
+    StageGraph,
+    clear_dag_stats,
+    dag_stats,
+    shared_stage_ratio,
+    stage_kernel,
+)
 from repro.exec.local import ProcessBackend, SerialBackend, ThreadBackend
 from repro.exec.registry import EXECUTORS, by_executor, executors, register_executor
 from repro.exec.shm import SharedMemoryBackend, shutdown_pool
@@ -34,6 +42,12 @@ __all__ = [
     "ThreadBackend",
     "ProcessBackend",
     "SharedMemoryBackend",
+    "DagBackend",
+    "StageGraph",
+    "stage_kernel",
+    "shared_stage_ratio",
+    "dag_stats",
+    "clear_dag_stats",
     "CachedBackend",
     "ResultStore",
     "cell_key",

@@ -39,7 +39,7 @@ import pickle
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing.shared_memory import SharedMemory
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
@@ -197,6 +197,72 @@ def _pack_sources(runtime: Any) -> tuple[dict, SharedMemory]:
         "check": runtime.check,
     }
     return payload, shm
+
+
+def _pack_profiles(results: list[tuple]) -> tuple[dict, SharedMemory]:
+    """Pack routed profiles into one shared block (mixed-dtype, zero-copy).
+
+    ``results`` pairs each route-stage spec with its
+    :class:`~repro.networks.routing.RoutedProfile`.  The profile's four
+    arrays (``labels``/``dilation`` int64, ``congestion``/``time``
+    float64) are laid out back to back, 8-byte aligned, in one
+    ``SharedMemory`` block; the returned payload carries the byte spans
+    so :func:`_attach_profiles` can rebuild read-only views without
+    copying.  The DAG scheduler ships the route wave's results to
+    sim-wave workers this way.
+    """
+    entries = []
+    blocks: list[np.ndarray] = []
+    offset = 0
+    for spec, profile in results:
+        spans = []
+        for arr in (profile.labels, profile.congestion,
+                    profile.dilation, profile.time):
+            a = np.ascontiguousarray(arr)
+            spans.append((str(a.dtype), offset, a.size))
+            blocks.append(a)
+            offset += a.nbytes
+        entries.append(
+            (spec, (profile.topology, profile.policy, profile.p), tuple(spans))
+        )
+    shm = SharedMemory(create=True, size=max(8, offset))
+    for (_dtype, start, _size), a in zip(
+        (span for _spec, _names, spans in entries for span in spans), blocks
+    ):
+        view = np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=start)
+        view[...] = a
+    return {"shm": shm.name, "entries": entries}, shm
+
+
+def _attach_profiles(payload: dict) -> "Iterator[tuple[tuple, Any]]":
+    """Rebuild the packed routed profiles as zero-copy read-only views.
+
+    Yields ``(spec, RoutedProfile)`` pairs.  The mapping is attached
+    without resource-tracker custody (the parent owns the block) and is
+    deliberately kept open for the worker's lifetime: the profile views
+    borrow its buffer.
+    """
+    from repro.networks.routing import RoutedProfile
+
+    shm = _attach_untracked(payload["shm"])
+    # Single-threaded worker private state, like _attach_runtime's.
+    _WORKER_STATE.setdefault("profile_blocks", []).append(shm)  # type: ignore[union-attr]  # repro: noqa[RPR004]
+    for spec, (topo_name, policy_name, p), spans in payload["entries"]:
+        arrays = []
+        for dtype, start, size in spans:
+            view = np.ndarray((size,), dtype=dtype, buffer=shm.buf, offset=start)
+            view.setflags(write=False)
+            arrays.append(view)
+        labels, congestion, dilation, time = arrays
+        yield spec, RoutedProfile(
+            topology=topo_name,
+            policy=policy_name,
+            p=p,
+            labels=labels,
+            congestion=congestion,
+            dilation=dilation,
+            time=time,
+        )
 
 
 def _shards(indices: list[int], workers: int) -> list[list[int]]:

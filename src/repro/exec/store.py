@@ -41,6 +41,7 @@ from typing import Any
 
 from repro.exec.base import ExecutorBackend
 from repro.exec.registry import by_executor, register_executor
+from repro.util import sanitize
 from repro.util.caches import register_cache
 
 __all__ = [
@@ -275,12 +276,26 @@ class CachedBackend(ExecutorBackend):
         cached = self.store.get_many(sorted(set(keys.values())))
         rows: dict[int, tuple] = {}
         missing: list[int] = []
+        hits: list[int] = []
         for i in indices:
             key = keys.get(i)
             if key is not None and key in cached:
                 rows[i] = cached[key]
+                hits.append(i)
             else:
                 missing.append(i)
+        if hits and sanitize.enabled():
+            # REPRO_SANITIZE: sampled hit rows are recomputed end to end
+            # (emission, fold, route, sim) and must match the stored row
+            # — the runtime counterpart of the cell-purity contract the
+            # whole store rests on.
+            for i in hits:
+                if not sanitize.should_spotcheck():
+                    continue
+                runtime.prepare([i])
+                sanitize.check_row_parity(
+                    rows[i], runtime.eval_cell(i), f"store hit cell {i}"
+                )
         meta: dict = {}
         if missing:
             inner_rows, meta = self.inner.run(

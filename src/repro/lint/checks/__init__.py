@@ -12,6 +12,7 @@ from repro.lint.checks import (  # noqa: F401  (imported for side effects)
     rpr004_lock_discipline,
     rpr005_registry,
     rpr006_engine_parity,
+    rpr007_stage_purity,
 )
 
 __all__ = [
@@ -21,4 +22,5 @@ __all__ = [
     "rpr004_lock_discipline",
     "rpr005_registry",
     "rpr006_engine_parity",
+    "rpr007_stage_purity",
 ]

@@ -42,6 +42,8 @@ __all__ = [
     "RoutedCost",
     "RoutedProfile",
     "route_trace",
+    "peek_route_cache",
+    "seed_route_cache",
     "clear_route_cache",
     "route_cache_stats",
     "fuse_gate_stats",
@@ -390,4 +392,59 @@ def route_trace(
             if len(_cache) > _CACHE_MAX:
                 _cache.popitem(last=False)
                 _cache_evictions += 1
+    return profile
+
+
+def peek_route_cache(
+    trace: Trace, topo: Topology, policy: RoutingPolicy | None = None
+) -> "RoutedProfile | None":
+    """The memoised profile, or ``None`` — without counting a miss.
+
+    A scheduler probe: the DAG planner uses it to split a wave into
+    LRU-warm and cold nodes before dispatching, and the eventual
+    assembly lookup (not the probe) is what the hit counters record.
+    """
+    policy = policy or _DIRECT
+    token = getattr(trace, "cache_token", None)
+    if token is None:
+        return None
+    key = (token, topo.name, topo.p, policy.cache_key())
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+        return cached
+
+
+def seed_route_cache(
+    trace: Trace,
+    topo: Topology,
+    policy: RoutingPolicy | None,
+    profile: "RoutedProfile",
+) -> "RoutedProfile":
+    """Insert a worker-computed profile under this process's cache key.
+
+    The DAG scheduler's parent-side re-insertion hook: pickling drops
+    numpy's read-only flag, so every array is re-frozen before the
+    profile enters the shared LRU.  A concurrently inserted profile for
+    the same key wins (the values are bit-identical by construction).
+    """
+    global _cache_evictions
+    policy = policy or _DIRECT
+    token = getattr(trace, "cache_token", None)
+    if token is None:
+        return profile
+    for arr in (profile.labels, profile.congestion, profile.dilation, profile.time):
+        arr.setflags(write=False)
+    key = (token, topo.name, topo.p, policy.cache_key())
+    sanitize.guard_cached(profile, "route")
+    with _cache_lock:
+        sanitize.assert_locked(_cache_lock, "route cache insert")
+        if key in _cache:
+            _cache.move_to_end(key)
+            return _cache[key]
+        _cache[key] = profile
+        if len(_cache) > _CACHE_MAX:
+            _cache.popitem(last=False)
+            _cache_evictions += 1
     return profile

@@ -64,6 +64,8 @@ __all__ = [
     "simulate_trace",
     "simulate_many",
     "simulate_superstep",
+    "peek_sim_cache",
+    "seed_sim_cache",
     "clear_sim_cache",
     "sim_cache_stats",
     "sim_engine_stats",
@@ -531,6 +533,74 @@ def _crosscheck_reference(
         (ref_cycles, ref_queue, ref_edge),
         where,
     )
+
+
+def peek_sim_cache(
+    trace: Trace,
+    topo: Topology,
+    policy: RoutingPolicy | None = None,
+    arbiter: Arbiter | str = "fifo",
+    arbiter_seed: int = 0,
+    flits_per_message: int = 1,
+) -> SimProfile | None:
+    """The memoised profile, or ``None`` — without counting a miss.
+
+    A scheduler probe (see
+    :func:`repro.networks.routing.peek_route_cache`): the DAG planner
+    splits sim waves into warm and cold nodes with it; hit accounting
+    stays with the assembly-time lookups.
+    """
+    if isinstance(arbiter, str):
+        arbiter = by_arbiter(arbiter, arbiter_seed)
+    key = _profile_key(
+        trace, topo, policy or _DIRECT, arbiter, _check_flits(flits_per_message)
+    )
+    if key is None:
+        return None
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+        return cached
+
+
+def seed_sim_cache(
+    trace: Trace,
+    topo: Topology,
+    policy: RoutingPolicy | None,
+    arbiter: Arbiter | str,
+    arbiter_seed: int,
+    flits_per_message: int,
+    profile: SimProfile,
+) -> SimProfile:
+    """Insert a worker-computed profile under this process's cache key.
+
+    The DAG scheduler's parent-side re-insertion hook; pickling drops
+    numpy's read-only flag, so every array field is re-frozen before the
+    profile enters the shared LRU.  An existing entry for the key wins
+    (the values are bit-identical by construction).
+    """
+    if isinstance(arbiter, str):
+        arbiter = by_arbiter(arbiter, arbiter_seed)
+    key = _profile_key(
+        trace, topo, policy or _DIRECT, arbiter, _check_flits(flits_per_message)
+    )
+    if key is None:
+        return profile
+    for arr in (
+        profile.labels, profile.cycles, profile.congestion, profile.dilation,
+        profile.max_queue, profile.delivered, profile.edge_flits,
+        profile.capacities,
+    ):
+        if arr is not None:
+            arr.setflags(write=False)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            return cached
+    _cache_put(key, profile)
+    return profile
 
 
 def _cache_put(key: tuple | None, profile: SimProfile) -> None:

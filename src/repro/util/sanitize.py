@@ -39,7 +39,9 @@ __all__ = [
     "guard_cached",
     "assert_locked",
     "should_crosscheck",
+    "should_spotcheck",
     "check_engine_parity",
+    "check_row_parity",
     "sanitizer_stats",
     "clear_sanitizer",
 ]
@@ -51,6 +53,8 @@ _arrays_checked = 0
 _lock_asserts = 0
 _engine_checks = 0
 _crosscheck_calls = 0
+_spotcheck_calls = 0
+_row_checks = 0
 _violations = 0
 
 
@@ -173,6 +177,59 @@ def should_crosscheck() -> bool:
     return n % sample_every() == 0
 
 
+def should_spotcheck() -> bool:
+    """Deterministic sampling gate for whole-row cross-checks.
+
+    The row-level sibling of :func:`should_crosscheck`, with its own
+    counter: DAG-scheduled cell assembly and result-store hits sample
+    through this gate, so engine cross-check cadence and row spot-check
+    cadence never perturb each other.
+    """
+    if not enabled():
+        return False
+    global _spotcheck_calls
+    with _counter_lock:
+        n = _spotcheck_calls
+        _spotcheck_calls += 1
+    return n % sample_every() == 0
+
+
+def _same_value(a: Any, b: Any) -> bool:
+    if a is None or b is None:
+        return a is None and b is None
+    if isinstance(a, float) and isinstance(b, float):
+        if np.isnan(a) and np.isnan(b):
+            return True
+    return bool(a == b)
+
+
+def check_row_parity(row: tuple, reference: tuple, where: str = "row") -> None:
+    """Require two result rows to agree value for value.
+
+    The shared comparator behind the DAG scheduler's sampled
+    fresh-recompute cross-check and the result store's hit spot-check:
+    every cell row is a pure function of its declaration, so a cached or
+    DAG-assembled row must equal an independent recompute *exactly*
+    (``NaN`` pairs match; an int and its float twin compare equal, which
+    absorbs the store's JSON round-trip).  Raises
+    :class:`SanitizerError` on the first differing column.
+    """
+    global _row_checks
+    with _counter_lock:
+        _row_checks += 1
+    if len(row) != len(reference):
+        _record_violation(
+            f"sanitizer[{where}]: row has {len(row)} columns, "
+            f"reference recompute has {len(reference)}"
+        )
+    for j, (a, b) in enumerate(zip(row, reference)):
+        if not _same_value(a, b):
+            _record_violation(
+                f"sanitizer[{where}]: column {j} diverges from the "
+                f"reference recompute ({a!r} != {b!r})"
+            )
+
+
 def check_engine_parity(
     fast: tuple[np.ndarray, np.ndarray, np.ndarray],
     reference: tuple[np.ndarray, np.ndarray, np.ndarray],
@@ -207,6 +264,7 @@ def sanitizer_stats() -> dict[str, int]:
             "arrays_checked": _arrays_checked,
             "lock_asserts": _lock_asserts,
             "engine_checks": _engine_checks,
+            "row_checks": _row_checks,
             "violations": _violations,
         }
 
@@ -214,12 +272,14 @@ def sanitizer_stats() -> dict[str, int]:
 def clear_sanitizer() -> None:
     """Reset the sanitizer counters (wired into ``repro.clear_caches``)."""
     global _arrays_checked, _lock_asserts, _engine_checks
-    global _crosscheck_calls, _violations
+    global _crosscheck_calls, _spotcheck_calls, _row_checks, _violations
     with _counter_lock:
         _arrays_checked = 0
         _lock_asserts = 0
         _engine_checks = 0
         _crosscheck_calls = 0
+        _spotcheck_calls = 0
+        _row_checks = 0
         _violations = 0
 
 

@@ -70,7 +70,7 @@ class TestPackageSurface:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.4.0"
+        assert repro.__version__ == "1.5.0"
 
     def test_quickstart_docstring_example(self):
         """The README/quickstart code path, inline."""

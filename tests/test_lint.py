@@ -61,6 +61,7 @@ class TestCheckRegistry:
             "RPR004",
             "RPR005",
             "RPR006",
+            "RPR007",
         }
 
     def test_by_check_is_case_insensitive(self):
@@ -637,6 +638,133 @@ class TestEngineParity:
                 return trace
             """,
             "RPR006",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
+# RPR007 — stage purity
+# ----------------------------------------------------------------------
+class TestStagePurity:
+    def test_mutable_read_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from repro.exec.dag import stage_kernel
+
+            _OPTIONS = {"fast": True}
+
+            @stage_kernel("demo")
+            def _demo(trace):
+                if _OPTIONS["fast"]:
+                    return trace
+                return None
+            """,
+            "RPR007",
+        )
+        assert len(found) == 1
+        assert "module-level mutable state '_OPTIONS'" in found[0].message
+
+    def test_global_declaration_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from repro.exec.dag import stage_kernel
+
+            _SEEN = []
+
+            @stage_kernel("demo")
+            def _demo(trace):
+                global _SEEN
+                _SEEN = []
+                return trace
+            """,
+            "RPR007",
+        )
+        assert any("declares global _SEEN" in v.message for v in found)
+
+    def test_pure_kernel_clean(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from repro.exec.dag import stage_kernel
+
+            _OPTIONS = {"fast": True}
+            LIMIT = 64
+
+            @stage_kernel("demo")
+            def _demo(trace, topo):
+                from repro.networks import route_trace
+
+                if trace.num_supersteps <= LIMIT:
+                    return route_trace(trace, topo)
+                local = {"slow": True}
+                return (route_trace(trace, topo), local)
+            """,
+            "RPR007",
+        )
+        assert found == []
+
+    def test_registered_cache_read_allowed(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from repro.exec.dag import stage_kernel
+            from repro.util.caches import register_cache
+
+            _route_cache = {}
+            register_cache("demo", lambda: {}, lambda: None)
+
+            @stage_kernel("demo")
+            def _demo(key):
+                return _route_cache.get(key)
+            """,
+            "RPR007",
+        )
+        assert found == []
+
+    def test_cache_named_dict_without_registration_flagged(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from repro.exec.dag import stage_kernel
+
+            _route_cache = {}
+
+            @stage_kernel("demo")
+            def _demo(key):
+                return _route_cache.get(key)
+            """,
+            "RPR007",
+        )
+        assert len(found) == 1
+
+    def test_undecorated_function_out_of_scope(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            _OPTIONS = {"fast": True}
+
+            def helper(trace):
+                return _OPTIONS["fast"]
+            """,
+            "RPR007",
+        )
+        assert found == []
+
+    def test_noqa_suppresses(self, tmp_path):
+        found = lint_snippet(
+            tmp_path,
+            """
+            from repro.exec.dag import stage_kernel
+
+            _OPTIONS = {"fast": True}
+
+            @stage_kernel("demo")
+            def _demo(trace):
+                return _OPTIONS["fast"]  # repro: noqa[RPR007]
+            """,
+            "RPR007",
         )
         assert found == []
 

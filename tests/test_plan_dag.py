@@ -1,0 +1,276 @@
+"""The stage-graph plan scheduler (``repro.exec.dag``).
+
+The contract under test: ``scheduler="dag"`` produces frames
+bit-identical to the reference per-cell path on every execution
+substrate (serial, thread, process, shm) with and without the result
+store, while executing each unique emit/fold/route/sim stage once —
+the dedup counters recorded in frame metadata and aggregated under
+``repro.cache_stats()["dag"]`` pin that down.  Wave order must not
+matter (``reverse_waves=True`` is bit-identical by construction), and
+the per-cell path must warn once when a multi-worker executor is about
+to re-derive a majority-shared grid without the DAG scheduler.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro import cache_stats, clear_caches
+from repro.api import ExperimentPlan, run
+from repro.exec import (
+    DagBackend,
+    ResultStore,
+    SharedMemoryBackend,
+    by_executor,
+    clear_dag_stats,
+    dag_stats,
+    executors,
+    shared_stage_ratio,
+    shutdown_pool,
+)
+from repro.exec.dag import _reset_shared_stage_warning, dag_env_enabled
+
+
+def _shared_grid(name="dag-grid"):
+    """A grid whose cells share most stage work: one emitted source,
+    routes shared across modes, sims shared across nothing else."""
+    return ExperimentPlan.grid(
+        algorithms=["fft"],
+        ns=[64],
+        ps=[4, 8],
+        topologies=["ring", "hypercube"],
+        policies=["dimension-order", "valiant"],
+        modes=["analytic", "sim"],
+        name=name,
+    )
+
+
+@pytest.fixture(autouse=True)
+def _rearm_warning(monkeypatch):
+    # Pin the scheduler and executor defaults: these tests exercise
+    # both paths explicitly, so the session-level REPRO_PLAN_DAG /
+    # REPRO_EXECUTOR of a CI matrix leg must not leak in.
+    monkeypatch.delenv("REPRO_PLAN_DAG", raising=False)
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    _reset_shared_stage_warning()
+    yield
+    _reset_shared_stage_warning()
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: the core scheduler property
+# ----------------------------------------------------------------------
+class TestDagEquivalence:
+    def test_dag_registered_as_executor(self):
+        assert "dag" in executors()
+        backend = by_executor("dag")
+        assert backend.name == "dag" and backend.inner.name == "serial"
+
+    def test_dag_serial_bit_identical(self):
+        plan = _shared_grid()
+        reference = plan.run()
+        frame = plan.run(scheduler="dag")
+        assert frame.rows == reference.rows
+        assert frame.metadata["scheduler"] == "dag"
+        assert frame.metadata["executor_effective"] == "serial"
+        assert frame.columns == reference.columns
+
+    def test_dag_over_every_substrate_bit_identical(self):
+        plan = _shared_grid()
+        reference = plan.run()
+        for inner in ("thread", "process"):
+            frame = plan.run(
+                executor=inner, scheduler="dag", max_workers=2
+            )
+            assert frame.rows == reference.rows, inner
+            assert frame.metadata["scheduler"] == "dag"
+        shm = plan.run(
+            executor=SharedMemoryBackend(workers=2, force=True),
+            scheduler="dag",
+        )
+        assert shm.rows == reference.rows
+        shutdown_pool()
+
+    def test_dag_with_store_cold_and_warm(self, tmp_path):
+        store = ResultStore(tmp_path / "results.db")
+        plan = _shared_grid()
+        reference = plan.run()
+        cold = plan.run(scheduler="dag", store=store)
+        assert cold.rows == reference.rows
+        assert cold.metadata["store_misses"] == len(plan)
+        warm = plan.run(scheduler="dag", store=store)
+        assert warm.rows == reference.rows
+        assert warm.metadata["store_hits"] == len(plan)
+
+    def test_reverse_waves_bit_identical(self):
+        plan = _shared_grid()
+        reference = plan.run()
+        backend = DagBackend("serial", reverse_waves=True)
+        frame = plan.run(executor=backend)
+        assert frame.rows == reference.rows
+
+    def test_dynamic_arbiter_and_flits(self):
+        plan = ExperimentPlan.grid(
+            algorithms=["fft"],
+            ns=[64],
+            ps=[4, 8],
+            topologies=["ring", "mesh2d"],
+            modes=["sim"],
+            arbiter="random",
+            arbiter_seed=3,
+            flits_per_message=2,
+        )
+        assert plan.run(scheduler="dag").rows == plan.run().rows
+
+    def test_long_supersteps_take_unfused_path(self):
+        # stencil1d traces exceed FUSE_MAX_SUPERSTEPS, so sibling sims
+        # must fall back to per-stage execution — still bit-identical.
+        plan = ExperimentPlan.grid(
+            algorithms=["stencil1d"],
+            ns=[256],
+            ps=[4, 8],
+            topologies=["ring"],
+            modes=["sim"],
+        )
+        assert plan.run(scheduler="dag").rows == plan.run().rows
+
+    def test_nested_dag_rejected(self):
+        with pytest.raises(TypeError, match="nest"):
+            DagBackend(DagBackend())
+
+
+# ----------------------------------------------------------------------
+# Dedup accounting
+# ----------------------------------------------------------------------
+class TestDedupCounters:
+    def test_frame_metadata_records_counters(self):
+        clear_caches()
+        plan = _shared_grid()
+        frame = plan.run(scheduler="dag")
+        meta = frame.metadata
+        planned = meta["dag_stages_planned"]
+        unique = meta["dag_stages_unique"]
+        assert planned > unique > 0
+        assert meta["dag_stages_executed"] > 0
+        assert meta["dag_stages_cache_hit"] >= 0
+        assert meta["shared_stage_ratio"] == round(1 - unique / planned, 4)
+        # Every cell references emit+fold+route+(sim|metrics) stages.
+        assert planned == 4 * len(plan)
+
+    def test_shared_source_emitted_once(self):
+        # Every cell of the grid shares one emitted trace: the graph
+        # plans len(plan) emit references but a single emit node.
+        from repro.api.plan import _PlanRuntime
+        from repro.exec import StageGraph
+
+        plan = _shared_grid()
+        runtime = _PlanRuntime(plan, check=False)
+        indices = list(range(len(plan)))
+        runtime.prepare(indices)
+        graph = StageGraph(runtime, indices)
+        assert graph.counters["emit_nodes"] == 1
+        assert graph.counters["sim_nodes"] == 8  # 2 ps x 2 topos x 2 pols
+        assert graph.counters["route_nodes"] == 8  # shared across modes
+        assert graph.counters["fold_nodes"] == 2  # one per p
+
+    def test_warm_lrus_are_counted_not_recomputed(self):
+        # A stable in-memory trace keeps its LRU identity across runs:
+        # the second DAG run must count cache hits instead of executing.
+        trace = run("fft", n=64).trace
+        plan = ExperimentPlan.from_trace(
+            trace,
+            ps=[4, 8],
+            topologies=["ring", "hypercube"],
+            modes=["analytic", "sim"],
+        )
+        clear_caches()
+        cold = plan.run(scheduler="dag")
+        warm = plan.run(scheduler="dag")
+        assert warm.rows == cold.rows
+        assert warm.metadata["dag_stages_cache_hit"] > 0
+        assert (
+            warm.metadata["dag_stages_executed"]
+            < cold.metadata["dag_stages_executed"]
+        )
+
+    def test_cache_stats_gains_dag_provider(self):
+        clear_dag_stats()
+        assert dag_stats()["stages_planned"] == 0
+        frame = _shared_grid().run(scheduler="dag")
+        stats = cache_stats()["dag"]
+        assert stats["stages_planned"] == frame.metadata["dag_stages_planned"]
+        assert stats["stages_unique"] == frame.metadata["dag_stages_unique"]
+        assert stats["runs"] == 1
+        clear_caches()
+        assert dag_stats()["stages_planned"] == 0
+
+
+# ----------------------------------------------------------------------
+# Scheduler selection
+# ----------------------------------------------------------------------
+class TestSchedulerSelection:
+    def test_default_is_cells(self):
+        frame = ExperimentPlan.grid(["fft"], ns=[64], ps=[4]).run()
+        assert frame.metadata["scheduler"] == "cells"
+        assert "dag_stages_planned" not in frame.metadata
+
+    def test_env_selects_dag(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_DAG", "1")
+        assert dag_env_enabled()
+        frame = _shared_grid().run()
+        assert frame.metadata["scheduler"] == "dag"
+        assert frame.metadata["dag_stages_planned"] > 0
+
+    def test_explicit_cells_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_DAG", "1")
+        frame = _shared_grid().run(scheduler="cells")
+        assert frame.metadata["scheduler"] == "cells"
+
+    def test_unknown_scheduler_fails_fast(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            _shared_grid().run(scheduler="waves")
+
+    def test_dag_executor_name_implies_dag_scheduler(self):
+        frame = _shared_grid().run(executor="dag")
+        assert frame.metadata["scheduler"] == "dag"
+        assert frame.metadata["dag_stages_planned"] > 0
+
+
+# ----------------------------------------------------------------------
+# The shared-stage warning (per-cell path, multi-worker executor)
+# ----------------------------------------------------------------------
+class TestSharedStageWarning:
+    def test_ratio_prices_overlap_declaratively(self):
+        plan = _shared_grid()
+        ratio = shared_stage_ratio(plan.cells)
+        assert ratio > 0.5
+        lone = ExperimentPlan.grid(["fft"], ns=[64], ps=[4])
+        assert shared_stage_ratio(lone.cells) < 0.5
+
+    def test_multi_worker_cells_run_warns_once(self):
+        plan = _shared_grid()
+        reference = plan.run()
+        with pytest.warns(RuntimeWarning, match="REPRO_PLAN_DAG"):
+            frame = plan.run(executor="thread", max_workers=2)
+        assert frame.rows == reference.rows
+        assert frame.metadata["shared_stage_ratio"] > 0.5
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second run: warned already
+            again = plan.run(executor="thread", max_workers=2)
+        assert again.metadata["shared_stage_ratio"] > 0.5
+
+    def test_serial_and_dag_runs_do_not_warn(self):
+        plan = _shared_grid()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            plan.run()
+            plan.run(scheduler="dag")
+
+    def test_low_overlap_grid_does_not_warn(self):
+        plan = ExperimentPlan.grid(["fft"], ns=[64], ps=[4])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            frame = plan.run(executor="thread", max_workers=2)
+        assert frame.metadata["shared_stage_ratio"] < 0.5

@@ -191,3 +191,68 @@ class TestEngineCrossCheck:
         sanitize.check_engine_parity((a, a, a), (b, b, b), "test")
         with pytest.raises(SanitizerError, match="edge_flits"):
             sanitize.check_engine_parity((a, a, a), (b, b, b + 1), "test")
+
+
+# ----------------------------------------------------------------------
+# Sampled row-parity spot-checks (DAG assembly + store hits)
+# ----------------------------------------------------------------------
+class TestRowParity:
+    def _plan(self):
+        from repro.api import ExperimentPlan
+
+        return ExperimentPlan.grid(
+            algorithms=["fft"],
+            ns=[64],
+            ps=[4, 8],
+            topologies=["ring", "hypercube"],
+            modes=["analytic", "sim"],
+        )
+
+    def test_spotcheck_counter_is_independent(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        monkeypatch.setenv("REPRO_SANITIZE_SAMPLE", "2")
+        assert sanitize.should_spotcheck()
+        assert sanitize.should_crosscheck()  # separate counters
+        assert not sanitize.should_spotcheck()
+        assert sanitize.should_spotcheck()
+
+    def test_check_row_parity_exact_and_tolerant(self, sanitizing):
+        row = (1, "ring", 2.5, None, float("nan"))
+        sanitize.check_row_parity(row, (1, "ring", 2.5, None, float("nan")))
+        sanitize.check_row_parity((1.0,), (1,))  # JSON round-trip widening
+        assert repro.cache_stats()["sanitizer"]["row_checks"] == 2
+        with pytest.raises(SanitizerError, match="column 2"):
+            sanitize.check_row_parity(row, (1, "ring", 2.75, None, 0.0))
+        with pytest.raises(SanitizerError, match="columns"):
+            sanitize.check_row_parity((1, 2), (1,))
+
+    def test_dag_run_spot_checks_rows(self, sanitizing):
+        sanitize.clear_sanitizer()
+        self._plan().run(scheduler="dag")
+        stats = repro.cache_stats()["sanitizer"]
+        assert stats["row_checks"] >= len(self._plan())
+        assert stats["violations"] == 0
+
+    def test_store_hits_spot_checked(self, sanitizing, tmp_path, monkeypatch):
+        plan = self._plan()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        plan.run(store=tmp_path / "r.db")  # cold fill, unsanitized
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sanitize.clear_sanitizer()
+        warm = plan.run(store=tmp_path / "r.db")
+        assert warm.metadata["store_hits"] == len(plan)
+        stats = repro.cache_stats()["sanitizer"]
+        assert stats["row_checks"] == len(plan)  # SAMPLE=1: every hit
+        assert stats["violations"] == 0
+
+    def test_corrupted_store_row_trapped(self, sanitizing, tmp_path):
+        from repro.exec import ResultStore, cell_key
+
+        plan = self._plan()
+        store = ResultStore(tmp_path / "r.db")
+        plan.run(store=store)
+        key = cell_key(plan.cells[0])
+        row = store.get_many([key])[key]
+        store.put_many({key: row[:-1] + (row[-1] + 1 if row[-1] else 1,)})
+        with pytest.raises(SanitizerError, match="store hit cell"):
+            plan.run(store=store)
